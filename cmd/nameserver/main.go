@@ -1,0 +1,76 @@
+// Command nameserver runs a standalone OBIWAN name server over TCP.
+//
+// Sites started with obiwan.WithNameServer(addr) bind and look up object
+// graph roots here, exactly like the RMI registry of the original
+// prototype.
+//
+// Usage:
+//
+//	nameserver -addr :7777
+//
+// The server logs every binding change. Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"obiwan/internal/nameserver"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7777", "TCP listen address")
+	logEvery := flag.Duration("log-every", 30*time.Second, "interval for binding-count log lines (0 disables)")
+	flag.Parse()
+
+	log.SetPrefix("nameserver: ")
+	log.SetFlags(log.LstdFlags)
+
+	if err := run(*addr, *logEvery); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, logEvery time.Duration) error {
+	network := transport.NewTCPNetwork()
+	rt, err := rmi.NewRuntime(network, transport.Addr(addr))
+	if err != nil {
+		return fmt.Errorf("bind %s: %w", addr, err)
+	}
+	defer rt.Close()
+
+	server, ref, err := nameserver.Serve(rt)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving at %s (object id %d)", rt.Addr(), ref.ID)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	if logEvery > 0 {
+		ticker := time.NewTicker(logEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				names := server.List()
+				log.Printf("%d bindings: %v", len(names), names)
+			case sig := <-stop:
+				log.Printf("received %v, shutting down", sig)
+				return nil
+			}
+		}
+	}
+	sig := <-stop
+	log.Printf("received %v, shutting down", sig)
+	return nil
+}

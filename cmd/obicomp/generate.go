@@ -1,0 +1,578 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// marker in a type's doc comment selects it for generation.
+const marker = "obiwan:replicable"
+
+// target is one struct type to generate for.
+type target struct {
+	name    string
+	methods []method
+	skipped []string // methods excluded with the reason
+}
+
+// method is one business method with its file's import context.
+type method struct {
+	decl *ast.FuncDecl
+	file *ast.File
+}
+
+// Generate scans the package in dir and returns the generated source.
+// selected limits generation to the named types; empty means every type
+// whose doc comment carries the obiwan:replicable marker.
+func Generate(dir string, selected []string, prefix string) ([]byte, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		name := fi.Name()
+		return strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasSuffix(name, "_gen.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var pkg *ast.Package
+	for name, p := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if pkg != nil {
+			return nil, fmt.Errorf("multiple packages in %s", dir)
+		}
+		pkg = p
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no Go package in %s", dir)
+	}
+	if prefix == "" {
+		prefix = pkg.Name
+	}
+
+	targets, err := collectTargets(pkg, selected)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no matching types in %s (mark with %q or pass -types)", dir, marker)
+	}
+
+	g := &generator{fset: fset, pkgName: pkg.Name, prefix: prefix}
+	return g.emit(targets)
+}
+
+// collectTargets finds the struct types and their methods.
+func collectTargets(pkg *ast.Package, selected []string) ([]*target, error) {
+	want := make(map[string]bool, len(selected))
+	for _, s := range selected {
+		want[s] = true
+	}
+
+	byName := make(map[string]*target)
+	var order []string
+
+	// Pass 1: struct type declarations.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				name := ts.Name.Name
+				pick := want[name]
+				if len(want) == 0 {
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					pick = doc != nil && strings.Contains(doc.Text(), marker)
+				}
+				if !pick {
+					continue
+				}
+				if _, dup := byName[name]; !dup {
+					byName[name] = &target{name: name}
+					order = append(order, name)
+				}
+			}
+		}
+	}
+	for name := range want {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("type %s not found (or not a struct)", name)
+		}
+	}
+
+	// Pass 2: methods.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverTypeName(fd.Recv.List[0].Type)
+			t, ok := byName[recv]
+			if !ok {
+				continue
+			}
+			if reason := unsupportedSignature(fd.Type); reason != "" {
+				t.skipped = append(t.skipped, fmt.Sprintf("%s (%s)", fd.Name.Name, reason))
+				continue
+			}
+			t.methods = append(t.methods, method{decl: fd, file: file})
+		}
+	}
+
+	sort.Strings(order)
+	out := make([]*target, 0, len(order))
+	for _, name := range order {
+		t := byName[name]
+		sort.Slice(t.methods, func(i, j int) bool {
+			return t.methods[i].decl.Name.Name < t.methods[j].decl.Name.Name
+		})
+		if len(t.methods) == 0 {
+			return nil, fmt.Errorf("type %s has no generatable exported methods", name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// receiverTypeName extracts T from a receiver of type T or *T.
+func receiverTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// unsupportedSignature reports why a method cannot travel the wire
+// (empty string = supported).
+func unsupportedSignature(ft *ast.FuncType) string {
+	check := func(fields *ast.FieldList) string {
+		if fields == nil {
+			return ""
+		}
+		for _, f := range fields.List {
+			if reason := unsupportedType(f.Type); reason != "" {
+				return reason
+			}
+		}
+		return ""
+	}
+	if r := check(ft.Params); r != "" {
+		return r
+	}
+	return check(ft.Results)
+}
+
+func unsupportedType(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.ChanType:
+		return "channel in signature"
+	case *ast.FuncType:
+		return "function in signature"
+	case *ast.StarExpr:
+		return unsupportedType(e.X)
+	case *ast.ArrayType:
+		return unsupportedType(e.Elt)
+	case *ast.MapType:
+		if r := unsupportedType(e.Key); r != "" {
+			return r
+		}
+		return unsupportedType(e.Value)
+	case *ast.Ellipsis:
+		return unsupportedType(e.Elt)
+	case *ast.InterfaceType:
+		if len(e.Methods.List) > 0 {
+			return "non-empty interface in signature"
+		}
+	}
+	return ""
+}
+
+// generator emits the output file.
+type generator struct {
+	fset    *token.FileSet
+	pkgName string
+	prefix  string
+	buf     bytes.Buffer
+	imports map[string]string // path → local name ("" = default)
+}
+
+func (g *generator) emit(targets []*target) ([]byte, error) {
+	g.imports = map[string]string{"obiwan": ""}
+
+	var body bytes.Buffer
+	for _, t := range targets {
+		if err := g.emitType(&body, t); err != nil {
+			return nil, err
+		}
+	}
+
+	g.buf.Reset()
+	fmt.Fprintf(&g.buf, "// Code generated by obicomp. DO NOT EDIT.\n")
+	fmt.Fprintf(&g.buf, "//\n// Business interfaces, typed proxies, and registrations for the\n")
+	fmt.Fprintf(&g.buf, "// OBIWAN-replicable types of package %s.\n\n", g.pkgName)
+	fmt.Fprintf(&g.buf, "package %s\n\n", g.pkgName)
+	fmt.Fprintf(&g.buf, "import (\n")
+	paths := make([]string, 0, len(g.imports))
+	for p := range g.imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if name := g.imports[p]; name != "" {
+			fmt.Fprintf(&g.buf, "\t%s %s\n", name, strconv.Quote(p))
+		} else {
+			fmt.Fprintf(&g.buf, "\t%s\n", strconv.Quote(p))
+		}
+	}
+	fmt.Fprintf(&g.buf, ")\n\n")
+	g.buf.Write(body.Bytes())
+
+	src, err := format.Source(g.buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("generated code does not format: %w\n%s", err, g.buf.String())
+	}
+	return src, nil
+}
+
+// emitType writes the interface, proxy, lookup helper, and registration
+// for one target.
+func (g *generator) emitType(w *bytes.Buffer, t *target) error {
+	iface := "I" + t.name
+	proxy := t.name + "Proxy"
+
+	// Interface.
+	fmt.Fprintf(w, "// %s is the business interface of %s — the methods that can be\n", iface, t.name)
+	fmt.Fprintf(w, "// invoked locally on a replica or remotely on the master (the paper's\n")
+	fmt.Fprintf(w, "// interface IA).\n")
+	fmt.Fprintf(w, "type %s interface {\n", iface)
+	for _, m := range t.methods {
+		sig, err := g.signature(m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\t%s%s\n", m.decl.Name.Name, sig)
+	}
+	fmt.Fprintf(w, "}\n\n")
+	for _, s := range t.skipped {
+		fmt.Fprintf(w, "// Note: method %s of %s is not wire-friendly and was left out.\n", s, t.name)
+	}
+	if len(t.skipped) > 0 {
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "var _ %s = (*%s)(nil)\n\n", iface, t.name)
+
+	// Proxy.
+	fmt.Fprintf(w, "// %s implements %s over an OBIWAN reference: invocations raise\n", proxy, iface)
+	fmt.Fprintf(w, "// and resolve object faults transparently, or reach the master over RMI,\n")
+	fmt.Fprintf(w, "// per the reference's invocation mode.\n")
+	fmt.Fprintf(w, "type %s struct {\n\tref *obiwan.Ref\n}\n\n", proxy)
+	fmt.Fprintf(w, "var _ %s = (*%s)(nil)\n\n", iface, proxy)
+	fmt.Fprintf(w, "// New%s wraps an OBIWAN reference in the typed proxy.\n", proxy)
+	fmt.Fprintf(w, "func New%s(ref *obiwan.Ref) *%s { return &%s{ref: ref} }\n\n", proxy, proxy, proxy)
+	fmt.Fprintf(w, "// Ref returns the underlying OBIWAN reference (e.g. to switch its\n// invocation mode at run time).\n")
+	fmt.Fprintf(w, "func (p *%s) Ref() *obiwan.Ref { return p.ref }\n\n", proxy)
+
+	for _, m := range t.methods {
+		if err := g.emitMethod(w, t, proxy, m); err != nil {
+			return err
+		}
+	}
+
+	// Replica lifecycle helpers, unless the business interface already
+	// claims the names.
+	has := func(name string) bool {
+		for _, m := range t.methods {
+			if m.decl.Name.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("Put") {
+		fmt.Fprintf(w, "// Put ships the referenced replica's state back to its master.\n")
+		fmt.Fprintf(w, "func (p *%s) Put(s *obiwan.Site) error {\n", proxy)
+		fmt.Fprintf(w, "\tobj, err := p.ref.Resolve()\n\tif err != nil {\n\t\treturn err\n\t}\n")
+		fmt.Fprintf(w, "\treturn s.Put(obj)\n}\n\n")
+	}
+	if !has("Refresh") {
+		fmt.Fprintf(w, "// Refresh re-fetches the referenced replica's state from its master.\n")
+		fmt.Fprintf(w, "func (p *%s) Refresh(s *obiwan.Site) error {\n", proxy)
+		fmt.Fprintf(w, "\tobj, err := p.ref.Resolve()\n\tif err != nil {\n\t\treturn err\n\t}\n")
+		fmt.Fprintf(w, "\treturn s.Refresh(obj)\n}\n\n")
+	}
+
+	// Lookup helper.
+	fmt.Fprintf(w, "// Lookup%s resolves a name-server binding to a typed proxy.\n", t.name)
+	fmt.Fprintf(w, "func Lookup%s(s *obiwan.Site, name string) (*%s, error) {\n", t.name, proxy)
+	fmt.Fprintf(w, "\tref, err := s.Lookup(name)\n\tif err != nil {\n\t\treturn nil, err\n\t}\n")
+	fmt.Fprintf(w, "\treturn New%s(ref), nil\n}\n\n", proxy)
+
+	// Registration.
+	fmt.Fprintf(w, "func init() {\n\tobiwan.MustRegisterType(%q, (*%s)(nil))\n}\n\n",
+		g.prefix+"."+t.name, t.name)
+	return nil
+}
+
+// emitMethod writes one forwarding method on the proxy.
+func (g *generator) emitMethod(w *bytes.Buffer, t *target, proxy string, m method) error {
+	name := m.decl.Name.Name
+	params, callArgs, variadic, err := g.params(m)
+	if err != nil {
+		return err
+	}
+	results, hasErr, err := g.results(m)
+	if err != nil {
+		return err
+	}
+
+	sig, err := g.signature(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "// %s forwards to the referenced %s.\n", name, t.name)
+	fmt.Fprintf(w, "func (p *%s) %s%s {\n", proxy, name, sig)
+
+	// Build the argument vector.
+	if variadic != "" {
+		fmt.Fprintf(w, "\tcallArgs := make([]any, 0, %d+len(%s))\n", len(callArgs), variadic)
+		for _, a := range callArgs {
+			fmt.Fprintf(w, "\tcallArgs = append(callArgs, %s)\n", a)
+		}
+		fmt.Fprintf(w, "\tfor _, v := range %s {\n\t\tcallArgs = append(callArgs, v)\n\t}\n", variadic)
+		fmt.Fprintf(w, "\tres, err := p.ref.Invoke(%q, callArgs...)\n", name)
+	} else {
+		args := strings.Join(callArgs, ", ")
+		if args != "" {
+			args = ", " + args
+		}
+		fmt.Fprintf(w, "\tres, err := p.ref.Invoke(%q%s)\n", name, args)
+	}
+	_ = params
+
+	zeroReturns := make([]string, 0, len(results)+1)
+	for i := range results {
+		zeroReturns = append(zeroReturns, fmt.Sprintf("out%d", i))
+	}
+	if hasErr {
+		// Declare zero-valued outputs up front so error paths can return.
+		for i, rt := range results {
+			fmt.Fprintf(w, "\tvar out%d %s\n", i, rt)
+		}
+		fmt.Fprintf(w, "\tif err != nil {\n\t\treturn %s\n\t}\n",
+			strings.Join(append(append([]string(nil), zeroReturns...), "err"), ", "))
+		for i, rt := range results {
+			fmt.Fprintf(w, "\tif out%d, err = obiwan.Convert[%s](res[%d]); err != nil {\n", i, rt, i)
+			fmt.Fprintf(w, "\t\treturn %s\n\t}\n",
+				strings.Join(append(append([]string(nil), zeroReturns...), "err"), ", "))
+		}
+		fmt.Fprintf(w, "\treturn %s\n}\n\n",
+			strings.Join(append(append([]string(nil), zeroReturns...), "nil"), ", "))
+		return nil
+	}
+
+	// No error channel in the business interface: infrastructure failures
+	// panic, like a Java RMI runtime exception. Use the error-returning
+	// business methods (or the Ref directly) where failures are expected.
+	fmt.Fprintf(w, "\tif err != nil {\n\t\tpanic(\"obiwan proxy: %s.%s: \" + err.Error())\n\t}\n", t.name, name)
+	if len(results) == 0 {
+		fmt.Fprintf(w, "\t_ = res\n\treturn\n}\n\n")
+		return nil
+	}
+	for i, rt := range results {
+		fmt.Fprintf(w, "\tout%d, cerr%d := obiwan.Convert[%s](res[%d])\n", i, i, rt, i)
+		fmt.Fprintf(w, "\tif cerr%d != nil {\n\t\tpanic(\"obiwan proxy: %s.%s result %d: \" + cerr%d.Error())\n\t}\n",
+			i, t.name, name, i, i)
+	}
+	fmt.Fprintf(w, "\treturn %s\n}\n\n", strings.Join(zeroReturns, ", "))
+	return nil
+}
+
+// signature renders the method's signature (params + results), naming any
+// anonymous parameters so the body can reference them.
+func (g *generator) signature(m method) (string, error) {
+	ft := m.decl.Type
+	var b strings.Builder
+	b.WriteString("(")
+	idx := 0
+	for i, f := range ft.Params.List {
+		names := fieldNames(f, &idx)
+		typ, err := g.typeString(f.Type, m.file)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strings.Join(names, ", "))
+		b.WriteString(" ")
+		b.WriteString(typ)
+	}
+	b.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		var parts []string
+		for _, f := range ft.Results.List {
+			typ, err := g.typeString(f.Type, m.file)
+			if err != nil {
+				return "", err
+			}
+			n := 1
+			if len(f.Names) > 1 {
+				n = len(f.Names)
+			}
+			for j := 0; j < n; j++ {
+				parts = append(parts, typ)
+			}
+		}
+		if len(parts) == 1 {
+			b.WriteString(" " + parts[0])
+		} else {
+			b.WriteString(" (" + strings.Join(parts, ", ") + ")")
+		}
+	}
+	return b.String(), nil
+}
+
+// params returns parameter metadata: declared names (for documentation),
+// the call-argument expressions, and the variadic parameter name, if any.
+func (g *generator) params(m method) (names []string, callArgs []string, variadic string, err error) {
+	idx := 0
+	for _, f := range m.decl.Type.Params.List {
+		fnames := fieldNames(f, &idx)
+		if _, isEllipsis := f.Type.(*ast.Ellipsis); isEllipsis {
+			variadic = fnames[len(fnames)-1]
+			names = append(names, fnames...)
+			callArgs = append(callArgs, fnames[:len(fnames)-1]...)
+			continue
+		}
+		names = append(names, fnames...)
+		callArgs = append(callArgs, fnames...)
+	}
+	return names, callArgs, variadic, nil
+}
+
+// results returns the non-error result type strings and whether the
+// method's last result is error.
+func (g *generator) results(m method) ([]string, bool, error) {
+	ft := m.decl.Type
+	if ft.Results == nil {
+		return nil, false, nil
+	}
+	var types []string
+	for _, f := range ft.Results.List {
+		typ, err := g.typeString(f.Type, m.file)
+		if err != nil {
+			return nil, false, err
+		}
+		n := 1
+		if len(f.Names) > 1 {
+			n = len(f.Names)
+		}
+		for j := 0; j < n; j++ {
+			types = append(types, typ)
+		}
+	}
+	hasErr := len(types) > 0 && types[len(types)-1] == "error"
+	if hasErr {
+		types = types[:len(types)-1]
+	}
+	return types, hasErr, nil
+}
+
+// fieldNames returns the field's parameter names, inventing a<N> names for
+// anonymous parameters.
+func fieldNames(f *ast.Field, idx *int) []string {
+	if len(f.Names) == 0 {
+		name := fmt.Sprintf("a%d", *idx)
+		*idx++
+		return []string{name}
+	}
+	names := make([]string, len(f.Names))
+	for i, n := range f.Names {
+		name := n.Name
+		if name == "_" {
+			name = fmt.Sprintf("a%d", *idx)
+		}
+		names[i] = name
+		*idx++
+	}
+	return names
+}
+
+// typeString renders a type expression and records any imports it needs.
+func (g *generator) typeString(expr ast.Expr, file *ast.File) (string, error) {
+	// Record selector-based imports (pkg.Type).
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		g.recordImport(id.Name, file)
+		return true
+	})
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, g.fset, expr); err != nil {
+		return "", fmt.Errorf("render type: %w", err)
+	}
+	return b.String(), nil
+}
+
+// recordImport maps a package identifier used in a signature back to its
+// import path in the defining file.
+func (g *generator) recordImport(ident string, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		effective := local
+		if effective == "" {
+			// Default name: last path segment.
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				effective = path[i+1:]
+			} else {
+				effective = path
+			}
+		}
+		if effective == ident {
+			g.imports[path] = local
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package library is the obicomp test corpus: a small book-catalogue
+// domain exercising every signature shape the generator supports.
+package library
+
+import (
+	"errors"
+	"time"
+
+	"obiwan"
+)
+
+// Book is a catalogue entry.
+//
+// obiwan:replicable
+type Book struct {
+	Title   string
+	Pages   int
+	Tags    []string
+	AddedAt int64
+	Next    *obiwan.Ref
+}
+
+// TitleOf returns the book's title.
+func (b *Book) TitleOf() string { return b.Title }
+
+// Rename sets the title.
+func (b *Book) Rename(title string) { b.Title = title }
+
+// Describe returns several values.
+func (b *Book) Describe() (string, int) { return b.Title, b.Pages }
+
+// Tagged reports whether the book carries all the given tags.
+func (b *Book) Tagged(tags ...string) bool {
+	for _, want := range tags {
+		found := false
+		for _, t := range b.Tags {
+			if t == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkout validates and returns a due time in Unix seconds.
+func (b *Book) Checkout(days int) (int64, error) {
+	if days <= 0 {
+		return 0, errors.New("library: non-positive loan")
+	}
+	return b.AddedAt + int64(days)*int64(24*time.Hour/time.Second), nil
+}
+
+// Watch is not wire-friendly (channel): obicomp must skip it.
+func (b *Book) Watch(ch chan string) { ch <- b.Title }
+
+// internal is unexported: obicomp must ignore it.
+func (b *Book) internal() {} //nolint:unused
+
+// Shelf groups books; selected via -types rather than the marker.
+type Shelf struct {
+	Label string
+	Books []*obiwan.Ref
+}
+
+// LabelOf returns the shelf label.
+func (s *Shelf) LabelOf() string { return s.Label }
+
+// Count returns how many books the shelf holds.
+func (s *Shelf) Count() int { return len(s.Books) }

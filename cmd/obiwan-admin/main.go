@@ -1,0 +1,85 @@
+// Command obiwan-admin inspects a running OBIWAN site over TCP: heap
+// contents (masters, replicas, dirty state), RMI traffic counters, and the
+// proxy-lifecycle ledger.
+//
+// Usage:
+//
+//	obiwan-admin -site host:port            # full report
+//	obiwan-admin -site host:port -ping      # liveness probe only
+//	obiwan-admin -site host:port -objects   # per-object table only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"obiwan/internal/admin"
+	"obiwan/internal/rmi"
+	"obiwan/internal/site"
+	"obiwan/internal/stats"
+	"obiwan/internal/transport"
+)
+
+func main() {
+	siteAddr := flag.String("site", "", "address of the site to inspect (host:port)")
+	ping := flag.Bool("ping", false, "liveness probe only")
+	objects := flag.Bool("objects", false, "print only the per-object table")
+	flag.Parse()
+
+	if *siteAddr == "" {
+		fmt.Fprintln(os.Stderr, "obiwan-admin: -site is required")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *siteAddr, *ping, *objects); err != nil {
+		fmt.Fprintln(os.Stderr, "obiwan-admin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, siteAddr string, ping, objectsOnly bool) error {
+	network := transport.NewTCPNetwork()
+	rt, err := rmi.NewRuntime(network, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	client := admin.NewClient(rt, site.AdminRef(transport.Addr(siteAddr)))
+	if ping {
+		name, err := client.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "site %q is alive at %s\n", name, siteAddr)
+		return nil
+	}
+
+	report, err := client.Report()
+	if err != nil {
+		return err
+	}
+	return render(w, report, objectsOnly)
+}
+
+func render(w io.Writer, r *admin.SiteReport, objectsOnly bool) error {
+	if !objectsOnly {
+		fmt.Fprintf(w, "site %q at %s\n", r.Name, r.Addr)
+		fmt.Fprintf(w, "heap: %d masters, %d replicas (%d dirty)\n",
+			r.Masters, r.Replicas, r.DirtyReplicas)
+		fmt.Fprintf(w, "rmi: sent=%d served=%d faults=%d errors=%d bytes tx/rx=%d/%d\n",
+			r.CallsSent, r.CallsServed, r.RemoteFaults, r.SendErrors,
+			r.BytesSent, r.BytesReceived)
+		fmt.Fprintf(w, "proxies: out created=%d reclaimed=%d live=%d heap-served=%d; in exported=%d reused=%d\n",
+			r.ProxyOutsCreated, r.ProxyOutsReclaimed, r.ProxyOutsLive,
+			r.FaultsServedFromHeap, r.ProxyInsExported, r.ProxyInsReused)
+		fmt.Fprintln(w)
+	}
+	t := stats.NewTable("oid", "type", "role", "version", "dirty", "cluster", "provider")
+	for _, o := range r.Objects {
+		t.AddRow(o.OID, o.TypeName, o.Role, o.Version, o.Dirty, o.ClusterMember, o.Provider)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

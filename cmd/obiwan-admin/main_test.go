@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"obiwan/internal/objmodel"
+	"obiwan/internal/site"
+	"obiwan/internal/transport"
+)
+
+// memo is the admin CLI's test object.
+type memo struct {
+	Body string
+}
+
+func (m *memo) Read() string { return m.Body }
+
+func init() {
+	objmodel.MustRegisterType("admincli_test.memo", (*memo)(nil))
+}
+
+// TestAdminCLIOverTCP stands a site up on real TCP and inspects it with
+// the CLI's run function.
+func TestAdminCLIOverTCP(t *testing.T) {
+	net := transport.NewTCPNetwork()
+	s, err := site.New("127.0.0.1:0", net, site.WithSiteID(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register(&memo{Body: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(&buf, string(s.Addr()), true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "is alive") {
+		t.Fatalf("ping output: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"heap: 1 masters, 0 replicas (0 dirty)",
+		"admincli_test.memo",
+		"master",
+		"proxies:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), false, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "rmi:") {
+		t.Fatal("-objects must omit the summary")
+	}
+}
+
+func TestAdminCLIUnreachable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "127.0.0.1:1", true, false); err == nil {
+		t.Fatal("unreachable site must error")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastRun drives the CLI's run function at minimal scale (loopback link,
+// tiny list), exercising every experiment selector end-to-end.
+func fastRun(t *testing.T, exp string, csv bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, exp, true /*quick*/, csv, "loopback", 20, 64, 5, ""); err != nil {
+		t.Fatalf("%s: %v", exp, err)
+	}
+	return buf.String()
+}
+
+func TestRunSelectors(t *testing.T) {
+	for _, exp := range []string{
+		"table1", "fig5curve", "fig5v6", "ablation-mode", "ablation-depth", "auto", "prefetch",
+	} {
+		t.Run(exp, func(t *testing.T) {
+			out := fastRun(t, exp, false)
+			if !strings.Contains(out, "## "+exp) {
+				t.Fatalf("missing section header:\n%s", out)
+			}
+			if !strings.Contains(out, "points in") {
+				t.Fatalf("missing point count:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	out := fastRun(t, "fig5", false)
+	if !strings.Contains(out, "64B step=1") {
+		t.Fatalf("missing series:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := fastRun(t, "table1", true)
+	if !strings.Contains(out, "experiment,series,size,step,x,total_ms") {
+		t.Fatalf("missing csv header:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", true, false, "loopback", 0, 64, 5, ""); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	if err := run(&buf, "table1", true, false, "carrier-pigeon", 0, 64, 5, ""); err == nil {
+		t.Fatal("unknown profile must fail")
+	}
+}
+
+func TestRunRendersSVG(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "fig5v6", true, false, "loopback", 12, 64, 5, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5v6.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Fatal("svg incomplete")
+	}
+	if !strings.Contains(buf.String(), "figure:") {
+		t.Fatal("figure path not reported")
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"obiwan/internal/bench"
+	"obiwan/internal/plot"
+)
+
+// plottable lists the experiments with a meaningful x-axis; the others
+// (single-point micro numbers, categorical ablations) stay tabular.
+var plottable = map[string]bool{
+	"fig4": true, "fig5": true, "fig6": true, "fig5curve": true, "fig5v6": true,
+}
+
+// renderSVG writes the experiment's points as an SVG figure and returns
+// the file path; experiments without a plottable axis return "" silently.
+func renderSVG(dir, name string, points []bench.Point) (string, error) {
+	if !plottable[name] {
+		return "", nil
+	}
+	if len(points) == 0 {
+		return "", fmt.Errorf("no points")
+	}
+	chart := chartFor(name, points)
+	svg, err := plot.SVG(chart)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, sanitize(name)+".svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// chartFor shapes the figure per experiment: figure 4 is the paper's
+// log-log cost plot; figures 5-6 sweep the step size on a log x-axis; the
+// cumulative curves and categorical experiments plot linearly.
+func chartFor(name string, points []bench.Point) plot.Chart {
+	c := plot.Chart{Title: titleFor(name), YLabel: "total time (ms)"}
+	switch name {
+	case "fig4":
+		c.XLabel = "invocations"
+		c.LogX, c.LogY = true, true
+	case "fig5", "fig6", "fig5v6":
+		c.XLabel = "replication step (objects per demand)"
+		c.LogX, c.LogY = true, true
+	case "fig5curve":
+		c.XLabel = "invocations"
+	default:
+		c.XLabel = "x"
+	}
+
+	order := []string{}
+	series := map[string]*plot.Series{}
+	for _, p := range points {
+		s, ok := series[p.Series]
+		if !ok {
+			s = &plot.Series{Label: p.Series}
+			series[p.Series] = s
+			order = append(order, p.Series)
+		}
+		x := p.X
+		if x == 0 {
+			x = float64(len(s.Points) + 1) // categorical experiments
+		}
+		s.Points = append(s.Points, plot.Point{X: x, Y: p.TotalMS})
+	}
+	for _, label := range order {
+		c.Series = append(c.Series, *series[label])
+	}
+	return c
+}
+
+func titleFor(name string) string {
+	switch name {
+	case "table1":
+		return "Table 1: per-invocation cost, LMI vs RMI"
+	case "fig4":
+		return "Figure 4: RMI vs LMI total cost"
+	case "fig5":
+		return "Figure 5: incremental replication (per-object proxies)"
+	case "fig6":
+		return "Figure 6: incremental replication with clustering"
+	case "fig5curve":
+		return "Cumulative replication staircase"
+	case "fig5v6":
+		return "Clustering delta at equal batch size"
+	default:
+		return name
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, strings.ToLower(name))
+}

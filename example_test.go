@@ -1,0 +1,134 @@
+package obiwan_test
+
+import (
+	"fmt"
+
+	"obiwan"
+)
+
+// Task is the object type used by the examples below.
+type Task struct {
+	Title string
+	Done  bool
+	Next  *obiwan.Ref
+}
+
+// Describe renders the task.
+func (t *Task) Describe() string {
+	if t.Done {
+		return "[x] " + t.Title
+	}
+	return "[ ] " + t.Title
+}
+
+// Finish marks the task done.
+func (t *Task) Finish() { t.Done = true }
+
+func init() {
+	obiwan.MustRegisterType("example.Task", (*Task)(nil))
+}
+
+// Example shows the complete OBIWAN flow: a master site binds an object
+// graph, a mobile site replicates it incrementally through object faults,
+// works locally, and pushes an edit back.
+func Example() {
+	network := obiwan.NewMemNetwork(obiwan.Loopback)
+
+	nsrt, _ := obiwan.NewRuntime(network, "ns")
+	defer nsrt.Close()
+	_, _, _ = obiwan.ServeNameServer(nsrt)
+
+	server, _ := obiwan.NewSite("server", network, obiwan.WithNameServer("ns"))
+	defer server.Close()
+	mobile, _ := obiwan.NewSite("mobile", network, obiwan.WithNameServer("ns"))
+	defer mobile.Close()
+
+	// The master graph: two linked tasks.
+	first := &Task{Title: "write the paper"}
+	second := &Task{Title: "run the experiments"}
+	first.Next, _ = server.NewRef(second)
+	_ = server.Bind("tasks/today", first)
+
+	// The mobile site replicates on first use.
+	ref, _ := mobile.Lookup("tasks/today")
+	out, _ := ref.Invoke("Describe")
+	fmt.Println(out[0])
+
+	// Typed access; walking the reference faults the next object in.
+	task, _ := obiwan.Deref[*Task](ref)
+	next, _ := obiwan.Deref[*Task](task.Next)
+	fmt.Println(next.Describe())
+
+	// Edit locally, push back to the master.
+	task.Finish()
+	_ = mobile.Put(task)
+	fmt.Println(first.Describe())
+
+	// Output:
+	// [ ] write the paper
+	// [ ] run the experiments
+	// [x] write the paper
+}
+
+// ExampleRef_SetMode shows the run-time invocation decision: the same
+// reference switches between RMI to the master and local replica use.
+func ExampleRef_SetMode() {
+	network := obiwan.NewMemNetwork(obiwan.Loopback)
+	server, _ := obiwan.NewSite("server", network)
+	defer server.Close()
+	client, _ := obiwan.NewSite("client", network)
+	defer client.Close()
+
+	master := &Task{Title: "shared"}
+	desc, _ := server.Export(master)
+	ref := client.Engine().RefFromDescriptor(desc, obiwan.DefaultSpec)
+
+	// Remote: the master is invoked over RMI; nothing replicates.
+	ref.SetMode(obiwan.ModeRemote)
+	_, _ = ref.Invoke("Finish")
+	fmt.Println("master done:", master.Done, "| replicated:", ref.IsResolved())
+
+	// Local: the object faults in and further calls are local.
+	ref.SetMode(obiwan.ModeLocal)
+	out, _ := ref.Invoke("Describe")
+	fmt.Println(out[0], "| replicated:", ref.IsResolved())
+
+	// Output:
+	// master done: true | replicated: false
+	// [x] shared | replicated: true
+}
+
+// ExampleGetSpec shows replication granularities: one demand can ship a
+// single object, a cluster, or the whole graph.
+func ExampleGetSpec() {
+	network := obiwan.NewMemNetwork(obiwan.Loopback)
+	server, _ := obiwan.NewSite("server", network)
+	defer server.Close()
+
+	// A chain of five tasks.
+	tasks := make([]*Task, 5)
+	for i := range tasks {
+		tasks[i] = &Task{Title: fmt.Sprintf("t%d", i)}
+	}
+	for i := 0; i < 4; i++ {
+		tasks[i].Next, _ = server.NewRef(tasks[i+1])
+	}
+	desc, _ := server.Export(tasks[0])
+
+	for _, spec := range []obiwan.GetSpec{
+		{Mode: obiwan.Incremental, Batch: 1},
+		{Mode: obiwan.Incremental, Batch: 2, Clustered: true},
+		{Mode: obiwan.Transitive},
+	} {
+		client, _ := obiwan.NewSite(fmt.Sprintf("c-%v-%d-%v", spec.Mode, spec.Batch, spec.Clustered), network)
+		ref := client.Engine().RefFromDescriptor(desc, spec)
+		_, _ = ref.Resolve()
+		fmt.Printf("%v → %d object(s) after one demand\n", spec, client.Heap().Len())
+		_ = client.Close()
+	}
+
+	// Output:
+	// {incremental 1 0 false} → 1 object(s) after one demand
+	// {incremental 2 0 true} → 2 object(s) after one demand
+	// {transitive 0 0 false} → 5 object(s) after one demand
+}

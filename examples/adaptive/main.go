@@ -1,0 +1,160 @@
+// Adaptive demonstrates the run-time invocation decision the paper closes
+// on: "the programmer has the means to make his application decide, in
+// run-time, if an object should be invoked via RMI or if a local replica
+// should be created ... given the significant and rapid changes in the
+// quality of service of the underlying network" (§5).
+//
+// A stock dashboard reads a quote object held at an exchange site while
+// its link degrades from LAN to WAN to wireless, and finally dies:
+//
+//   - explicit switching: the app reads RTT estimates from the QoS monitor
+//     and flips a reference from ModeRemote to ModeLocal when the link
+//     turns bad;
+//   - automatic switching: a ModeAuto reference crosses over on its own
+//     after the ski-rental break-even;
+//   - disconnection: the replica keeps serving reads with no network.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"obiwan"
+)
+
+// Quote is a single instrument's last trade.
+type Quote struct {
+	Symbol string
+	Cents  int64
+}
+
+// Price returns the last price in cents.
+func (q *Quote) Price() int64 { return q.Cents }
+
+// Trade records a new price.
+func (q *Quote) Trade(cents int64) { q.Cents = cents }
+
+func init() {
+	obiwan.MustRegisterType("adaptive.Quote", (*Quote)(nil))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := obiwan.NewMemNetwork(obiwan.LAN10)
+
+	nsrt, err := obiwan.NewRuntime(network, "ns")
+	if err != nil {
+		return err
+	}
+	defer nsrt.Close()
+	if _, _, err := obiwan.ServeNameServer(nsrt); err != nil {
+		return err
+	}
+
+	exchange, err := obiwan.NewSite("exchange", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer exchange.Close()
+	master := &Quote{Symbol: "OBI", Cents: 10_000}
+	if err := exchange.Bind("quotes/OBI", master); err != nil {
+		return err
+	}
+
+	dashboard, err := obiwan.NewSite("dashboard", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer dashboard.Close()
+
+	// ——— Part 1: explicit run-time switching on measured QoS. ———
+	ref, err := dashboard.Lookup("quotes/OBI")
+	if err != nil {
+		return err
+	}
+	ref.SetMode(obiwan.ModeRemote) // fresh quotes matter: read the master
+
+	readQuote := func(label string) error {
+		start := time.Now()
+		res, err := ref.Invoke("Price")
+		if err != nil {
+			return err
+		}
+		rtt, _ := dashboard.Monitor().RTT("exchange")
+		fmt.Printf("%-22s price=%d  call=%v  ewma-RTT=%v  mode=%v\n",
+			label, res[0], time.Since(start).Round(100*time.Microsecond),
+			rtt.Round(100*time.Microsecond), ref.Mode())
+		return nil
+	}
+
+	fmt.Println("— LAN: RMI is cheap, stay remote —")
+	for i := 0; i < 3; i++ {
+		master.Trade(10_000 + int64(i))
+		if err := readQuote("dashboard reads (LAN)"); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("— link degrades to wireless —")
+	network.SetProfile("dashboard", "exchange", obiwan.Wireless)
+	for i := 0; i < 2; i++ {
+		if err := readQuote("dashboard reads (wireless)"); err != nil {
+			return err
+		}
+	}
+	// The application policy: past 100 ms RTT, replicate and go local.
+	if rtt, ok := dashboard.Monitor().RTT("exchange"); ok && rtt > 100*time.Millisecond {
+		fmt.Printf("policy: RTT %v > 100ms — switching to local replica\n",
+			rtt.Round(time.Millisecond))
+		ref.SetMode(obiwan.ModeLocal)
+	}
+	for i := 0; i < 3; i++ {
+		if err := readQuote("dashboard reads (local)"); err != nil {
+			return err
+		}
+	}
+
+	// ——— Part 2: ModeAuto does the same switch by itself. ———
+	fmt.Println("— a second dashboard uses ModeAuto —")
+	network.SetProfile("auto", "exchange", obiwan.WAN)
+	auto, err := obiwan.NewSite("auto", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer auto.Close()
+	aref, err := auto.Lookup("quotes/OBI")
+	if err != nil {
+		return err
+	}
+	aref.SetMode(obiwan.ModeAuto)
+	for i := 1; i <= 4; i++ {
+		start := time.Now()
+		if _, err := aref.Invoke("Price"); err != nil {
+			return err
+		}
+		fmt.Printf("auto call %d: %v  resolved=%v\n",
+			i, time.Since(start).Round(100*time.Microsecond), aref.IsResolved())
+	}
+	fmt.Printf("auto: issued %d RMI calls in total (crossover after the break-even)\n",
+		auto.Runtime().Stats().CallsSent-1) // minus the name-server lookup
+
+	// ——— Part 3: the link dies; the replica keeps serving. ———
+	fmt.Println("— exchange link dies —")
+	network.Disconnect("dashboard", "exchange")
+	res, err := ref.Invoke("Price")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dashboard (offline) still reads price=%d from its replica\n", res[0])
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package docmodel is the shared document model of the collabdoc example:
+// a document is a chain of sections, co-edited by the members of a virtual
+// organization — the paper's motivating scenario ("a widely distributed
+// software development team", §1).
+//
+// The typed interfaces and proxies in obiwan_gen.go are produced by the
+// obicomp tool; regenerate with:
+//
+//	go run ./cmd/obicomp -dir ./examples/collabdoc/docmodel
+package docmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"obiwan"
+)
+
+// Document is the root object: title plus the head of the section chain.
+//
+// obiwan:replicable
+type Document struct {
+	Title    string
+	Revision int
+	First    *obiwan.Ref
+}
+
+// Heading renders the title line.
+func (d *Document) Heading() string {
+	return fmt.Sprintf("%s (rev %d)", d.Title, d.Revision)
+}
+
+// Retitle renames the document.
+func (d *Document) Retitle(title string) {
+	d.Title = title
+	d.Revision++
+}
+
+// Section is one block of document text.
+//
+// obiwan:replicable
+type Section struct {
+	Name string
+	Text string
+	Next *obiwan.Ref
+}
+
+// Render returns the section's display form.
+func (s *Section) Render() string {
+	return fmt.Sprintf("## %s\n%s", s.Name, s.Text)
+}
+
+// Edit replaces the section text.
+func (s *Section) Edit(text string) {
+	s.Text = text
+}
+
+// Append adds a line to the section.
+func (s *Section) Append(line string) {
+	if s.Text != "" && !strings.HasSuffix(s.Text, "\n") {
+		s.Text += "\n"
+	}
+	s.Text += line
+}
+
+// WordCount counts whitespace-separated words.
+func (s *Section) WordCount() int {
+	return len(strings.Fields(s.Text))
+}

@@ -1,0 +1,147 @@
+// Quickstart walks through the paper's prototypical example (§2, figures
+// 1 and 2): site S2 holds a graph of objects A→B→C; site S1 obtains A from
+// the name server and replicates the graph incrementally, one object fault
+// at a time.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obiwan"
+)
+
+// Doc is the example object type: some state plus one reference.
+type Doc struct {
+	Name string
+	Body string
+	Next *obiwan.Ref
+}
+
+// Title returns the document's name.
+func (d *Doc) Title() string { return d.Name }
+
+// Read returns the document's body.
+func (d *Doc) Read() string { return d.Body }
+
+func init() {
+	obiwan.MustRegisterType("quickstart.Doc", (*Doc)(nil))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One simulated 10 Mb/s LAN connects everything (the paper's testbed).
+	network := obiwan.NewMemNetwork(obiwan.LAN10)
+
+	// A standalone name server, as in the paper: "only object AProxyIn is
+	// registered in a name server".
+	nsrt, err := obiwan.NewRuntime(network, "ns")
+	if err != nil {
+		return err
+	}
+	defer nsrt.Close()
+	if _, _, err := obiwan.ServeNameServer(nsrt); err != nil {
+		return err
+	}
+
+	// Site S2 masters the graph.
+	s2, err := obiwan.NewSite("s2", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer s2.Close()
+
+	a := &Doc{Name: "A", Body: "alpha"}
+	b := &Doc{Name: "B", Body: "beta"}
+	c := &Doc{Name: "C", Body: "gamma"}
+	if a.Next, err = s2.NewRef(b); err != nil {
+		return err
+	}
+	if b.Next, err = s2.NewRef(c); err != nil {
+		return err
+	}
+	if err := s2.Bind("graph/A", a); err != nil {
+		return err
+	}
+	fmt.Println("S2: built A → B → C and bound A in the name server")
+
+	// Site S1 looks A up. Nothing is replicated yet — the reference is
+	// backed by a proxy-out.
+	s1, err := obiwan.NewSite("s1", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer s1.Close()
+
+	refA, err := s1.Lookup("graph/A")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S1: looked up graph/A: %v (heap: %d objects)\n", refA, s1.Heap().Len())
+
+	// First invocation: object fault on A. The demand ships A' plus a
+	// proxy-out standing in for B (situation (b) of figure 1).
+	title, err := refA.Invoke("Title")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S1: A.Title() = %q  (heap: %d, %s)\n", title[0], s1.Heap().Len(), gcLine(s1))
+
+	docA, err := obiwan.Deref[*Doc](refA)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S1: A'.Next resolved? %v — it is BProxyOut\n", docA.Next.IsResolved())
+
+	// Invoking through A'.Next faults B in; updateMember splices B' into
+	// the slot and the proxy-out becomes garbage (situation (c)).
+	body, err := docA.Next.Invoke("Read")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S1: B.Read() = %q  (heap: %d, %s)\n", body[0], s1.Heap().Len(), gcLine(s1))
+	fmt.Printf("S1: A'.Next resolved? %v — direct invocations from here on\n", docA.Next.IsResolved())
+
+	// And once more for C.
+	docB, err := obiwan.Deref[*Doc](docA.Next)
+	if err != nil {
+		return err
+	}
+	if _, err := docB.Next.Invoke("Read"); err != nil {
+		return err
+	}
+	fmt.Printf("S1: walked to C  (heap: %d, %s)\n", s1.Heap().Len(), gcLine(s1))
+
+	// The whole graph is local now: further work needs no network at all.
+	before := s1.Runtime().Stats().CallsSent
+	for i := 0; i < 1000; i++ {
+		if _, err := refA.Invoke("Read"); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("S1: 1000 more invocations, %d RMI calls issued\n",
+		s1.Runtime().Stats().CallsSent-before)
+
+	// Edit the replica and push it back to the master — the put path.
+	docA.Body = "alpha, edited at S1"
+	if err := s1.Put(docA); err != nil {
+		return err
+	}
+	fmt.Printf("S2: master A body after put: %q\n", a.Body)
+	return nil
+}
+
+func gcLine(s *obiwan.Site) string {
+	gc := s.Engine().GC().Snapshot()
+	return fmt.Sprintf("proxy-outs live: %d, reclaimed: %d",
+		gc.LiveProxyOuts(), gc.ProxyOutsReclaimed)
+}

@@ -1,0 +1,202 @@
+// Worldgame plays the last scenario the paper's introduction motivates:
+// "a distributed game involving people anywhere in the world" (§1).
+//
+// A game server masters a world of connected regions. Each player's device
+// replicates its *area of interest* — the current region plus everything
+// within two hops — as a depth-bounded dynamic cluster (§2.2: "the
+// application specifies the depth of the partial reachability graph that
+// it wants to replicate as a whole"). Movement is a put; other players
+// learn about it through invalidations and refresh their (stale) view of
+// the world. Walking beyond the replicated horizon faults the next area in
+// transparently.
+//
+// Run with:
+//
+//	go run ./examples/worldgame
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"obiwan"
+)
+
+// Region is one location in the game world.
+type Region struct {
+	Name      string
+	Occupants []string
+	Exits     []*obiwan.Ref
+}
+
+// Describe renders the region and who is here.
+func (r *Region) Describe() string {
+	if len(r.Occupants) == 0 {
+		return r.Name + " (empty)"
+	}
+	return r.Name + " (" + strings.Join(r.Occupants, ", ") + ")"
+}
+
+// Enter adds a player to the region.
+func (r *Region) Enter(player string) {
+	r.Occupants = append(r.Occupants, player)
+}
+
+// Leave removes a player from the region.
+func (r *Region) Leave(player string) {
+	out := r.Occupants[:0]
+	for _, p := range r.Occupants {
+		if p != player {
+			out = append(out, p)
+		}
+	}
+	r.Occupants = out
+}
+
+func init() {
+	obiwan.MustRegisterType("worldgame.Region", (*Region)(nil))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := obiwan.NewMemNetwork(obiwan.WAN)
+
+	nsrt, err := obiwan.NewRuntime(network, "ns")
+	if err != nil {
+		return err
+	}
+	defer nsrt.Close()
+	if _, _, err := obiwan.ServeNameServer(nsrt); err != nil {
+		return err
+	}
+
+	server, err := obiwan.NewSite("gameserver", network,
+		obiwan.WithNameServer("ns"), obiwan.WithInvalidation())
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	// A chain of regions: village — forest — river — hills — keep.
+	names := []string{"village", "forest", "river", "hills", "keep"}
+	regions := make([]*Region, len(names))
+	for i, n := range names {
+		regions[i] = &Region{Name: n}
+		if err := server.Register(regions[i]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(regions)-1; i++ {
+		fwd, err := server.NewRef(regions[i+1])
+		if err != nil {
+			return err
+		}
+		back, err := server.NewRef(regions[i])
+		if err != nil {
+			return err
+		}
+		regions[i].Exits = append(regions[i].Exits, fwd)
+		regions[i+1].Exits = append(regions[i+1].Exits, back)
+	}
+	if err := server.Bind("world/village", regions[0]); err != nil {
+		return err
+	}
+	fmt.Println("server: world is village—forest—river—hills—keep")
+
+	// Player Ada's device replicates her area of interest: the spawn
+	// region plus everything within 2 hops, as one cluster.
+	ada, err := obiwan.NewSite("ada", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer ada.Close()
+	aoiSpec := obiwan.GetSpec{
+		Mode: obiwan.Incremental, Batch: 64, Depth: 2, Clustered: true,
+	}
+	adaRef, err := ada.LookupSpec("world/village", aoiSpec)
+	if err != nil {
+		return err
+	}
+	adaHere, err := obiwan.Deref[*Region](adaRef)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ada: spawned in %s; area of interest holds %d regions (%d round trips)\n",
+		adaHere.Name, ada.Heap().Len(), ada.Runtime().Stats().CallsSent-1)
+
+	// Ada enters the village: a put updates the master world.
+	adaHere.Enter("ada")
+	if err := ada.PutCluster(adaHere); err != nil {
+		return err
+	}
+	fmt.Printf("server: %s\n", regions[0].Describe())
+
+	// Player Bo spawns too and sees Ada (his replica is fresh).
+	bo, err := obiwan.NewSite("bo", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		return err
+	}
+	defer bo.Close()
+	boRef, err := bo.LookupSpec("world/village", aoiSpec)
+	if err != nil {
+		return err
+	}
+	boHere, err := obiwan.Deref[*Region](boRef)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bo: sees %s\n", boHere.Describe())
+	boHere.Enter("bo")
+	if err := bo.PutCluster(boHere); err != nil {
+		return err
+	}
+
+	// Ada was invalidated by Bo's update; she refreshes and sees him.
+	stale := ada.StaleSet().Stale()
+	fmt.Printf("ada: %d region(s) invalidated by other players\n", len(stale))
+	if _, err := ada.RefreshStale(); err != nil {
+		return err
+	}
+	fmt.Printf("ada: now sees %s\n", adaHere.Describe())
+
+	// Ada walks east, beyond her horizon: village → forest → river →
+	// hills. The first two are already local (depth-2 cluster); "hills"
+	// faults the next area in transparently.
+	cur := adaHere
+	faultsBefore := ada.Runtime().Stats().CallsSent
+	for hop := 0; hop < 3; hop++ {
+		next, err := eastExit(cur)
+		if err != nil {
+			return err
+		}
+		cur = next
+		fmt.Printf("ada: walked to %s (heap now %d regions)\n", cur.Name, ada.Heap().Len())
+	}
+	fmt.Printf("ada: the walk needed %d extra round trip(s) — the horizon moved with her\n",
+		ada.Runtime().Stats().CallsSent-faultsBefore)
+
+	// Movement commits: leave the village cluster, enter the hills one.
+	adaHere.Leave("ada")
+	if err := ada.PutCluster(adaHere); err != nil {
+		return err
+	}
+	cur.Enter("ada")
+	if err := ada.PutCluster(cur); err != nil {
+		return err
+	}
+	fmt.Printf("server: %s / %s\n", regions[0].Describe(), regions[3].Describe())
+	return nil
+}
+
+// eastExit follows the region's last exit (the eastward link in this
+// world's construction), faulting it in if needed.
+func eastExit(r *Region) (*Region, error) {
+	exit := r.Exits[len(r.Exits)-1]
+	return obiwan.Deref[*Region](exit)
+}

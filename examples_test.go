@@ -1,0 +1,71 @@
+package obiwan_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each runnable example end to end and checks a
+// line of its expected narration — the examples double as system tests of
+// the public API.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples exercise simulated links with real delays")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate repo root")
+	}
+	root := filepath.Dir(thisFile)
+
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{
+			"S1: walked to C  (heap: 3, proxy-outs live: 0, reclaimed: 3)",
+			"1000 more invocations, 0 RMI calls issued",
+			`master A body after put: "alpha, edited at S1"`,
+		}},
+		{"disconnected", []string{
+			"laptop: committed offline (txn status: pending, pending: 1)",
+			"laptop: conflict — colleague updated the cluster first; refreshing and retrying",
+			"office: order[0] now: plant-7: replace valve [done: new valve fitted, tested at 6 bar]",
+		}},
+		{"collabdoc", []string{
+			"bob: clustered the whole document in 1 round trip(s)",
+			"bob: conflict (alice was first) — refreshing and retrying",
+			"Also, networks are slow.",
+		}},
+		{"worldgame", []string{
+			"area of interest holds 3 regions (1 round trips)",
+			"ada: now sees village (ada, bo)",
+			"the walk needed 1 extra round trip(s)",
+			"server: village (bo) / hills (ada)",
+		}},
+		{"adaptive", []string{
+			"switching to local replica",
+			"auto: issued 2 RMI calls in total",
+			"dashboard (offline) still reads",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+tc.dir)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module obiwan
+
+go 1.22

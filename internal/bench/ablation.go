@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/transport"
+)
+
+// RunAblationMode isolates the incremental vs transitive-closure decision
+// of §2.1: for each strategy it reports both the latency until the first
+// invocation can run (what incremental replication optimizes: "the latency
+// imposed on the application is smaller because the application can invoke
+// immediately the new replica") and the total time to walk the whole list.
+func RunAblationMode(cfg Config) ([]Point, error) {
+	size := cfg.Sizes[0]
+	strategies := []struct {
+		name string
+		spec replication.GetSpec
+	}{
+		{"incremental batch=1", replication.GetSpec{Mode: replication.Incremental, Batch: 1}},
+		{"incremental batch=50", replication.GetSpec{Mode: replication.Incremental, Batch: 50}},
+		{"cluster batch=50", replication.GetSpec{Mode: replication.Incremental, Batch: 50, Clustered: true}},
+		{"transitive", replication.GetSpec{Mode: replication.Transitive}},
+	}
+	var points []Point
+	for _, s := range strategies {
+		e, err := newEnv(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		head, err := e.buildList(cfg.ListLen, size)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		ref, err := e.clientRef(head, s.spec)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := ref.Invoke("Touch"); err != nil {
+			e.close()
+			return nil, err
+		}
+		firstUse := time.Since(start)
+		if err := walkList(ref, cfg.ListLen); err != nil {
+			e.close()
+			return nil, err
+		}
+		total := time.Since(start)
+		points = append(points,
+			Point{
+				Experiment: "ablation-mode", Series: s.name + " (first use)",
+				Size: size, TotalMS: ms(firstUse),
+			},
+			Point{
+				Experiment: "ablation-mode", Series: s.name + " (full walk)",
+				Size: size, TotalMS: ms(total),
+				RMICalls: e.crt.Stats().CallsSent,
+			},
+		)
+		e.close()
+	}
+	return points, nil
+}
+
+// RunAblationDepth compares count-bounded and depth-bounded dynamic
+// clusters ("the application specifies the depth of the partial
+// reachability graph that it wants to replicate as a whole") on a binary
+// tree, where the two policies ship differently-shaped prefixes.
+func RunAblationDepth(cfg Config) ([]Point, error) {
+	size := cfg.Sizes[0]
+	type strategy struct {
+		name string
+		spec replication.GetSpec
+	}
+	var strategies []strategy
+	for _, d := range []int{1, 2, 3} {
+		strategies = append(strategies, strategy{
+			name: fmt.Sprintf("depth=%d", d),
+			spec: replication.GetSpec{Mode: replication.Incremental, Batch: 1 << cfg.TreeDepth, Depth: d, Clustered: true},
+		})
+	}
+	for _, b := range []int{1, 7, 15} {
+		strategies = append(strategies, strategy{
+			name: fmt.Sprintf("count=%d", b),
+			spec: replication.GetSpec{Mode: replication.Incremental, Batch: b, Clustered: true},
+		})
+	}
+	var points []Point
+	for _, s := range strategies {
+		e, err := newEnv(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		root, total, err := e.buildTree(cfg.TreeDepth, size)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		ref, err := e.clientRef(root, s.spec)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		start := time.Now()
+		visited, err := walkTree(ref)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if visited != total {
+			e.close()
+			return nil, fmt.Errorf("ablation-depth %s: visited %d of %d", s.name, visited, total)
+		}
+		points = append(points, Point{
+			Experiment: "ablation-depth", Series: s.name, Size: size,
+			X: float64(total), TotalMS: ms(elapsed),
+			RMICalls:   e.crt.Stats().CallsSent,
+			ProxyPairs: e.server.GC().Snapshot().ProxyInsExported,
+		})
+		e.close()
+	}
+	return points, nil
+}
+
+// RunFig5v6 isolates the clustering delta of §4.2 vs §4.3 at equal batch
+// sizes: the per-object proxy pairs are the only difference between the
+// two regimes.
+func RunFig5v6(cfg Config) ([]Point, error) {
+	var points []Point
+	size := cfg.Sizes[0]
+	for _, step := range cfg.Steps {
+		if step <= 1 {
+			continue // clustering a single object changes nothing
+		}
+		for _, clustered := range []bool{false, true} {
+			experiment := "fig5v6/per-object"
+			if clustered {
+				experiment = "fig5v6/clustered"
+			}
+			p, err := listWalkPoint(cfg, experiment, size, step, clustered)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// RunAutoCrossover exercises the ModeAuto run-time switch: a reference
+// starts over RMI and replicates once the QoS crossover fires; the series
+// reports cumulative time per invocation strategy.
+func RunAutoCrossover(cfg Config, invocations int) ([]Point, error) {
+	strategies := []objmodel.InvocationMode{objmodel.ModeRemote, objmodel.ModeLocal, objmodel.ModeAuto}
+	var points []Point
+	for _, mode := range strategies {
+		e, err := newEnv(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		head, err := e.buildList(1, cfg.Sizes[0])
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		ref, err := e.clientRef(head, replication.DefaultSpec)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		if mode == objmodel.ModeAuto {
+			// Crossover after 2 calls, the qos.Advisor default.
+			e.client.SetCrossover(func(_ transport.Addr, _ objmodel.OID, calls uint64) bool {
+				return calls >= 2
+			})
+		}
+		ref.SetMode(mode)
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			if _, err := ref.Invoke("Touch"); err != nil {
+				e.close()
+				return nil, err
+			}
+		}
+		total := time.Since(start)
+		points = append(points, Point{
+			Experiment: "auto-crossover", Series: mode.String(),
+			Size: cfg.Sizes[0], X: float64(invocations),
+			TotalMS: ms(total), RMICalls: e.crt.Stats().CallsSent,
+		})
+		e.close()
+	}
+	return points, nil
+}
+
+// RunPrefetch quantifies the paper's footnote 3 — "a perfect mechanism of
+// pre-fetching in the background can completely eliminate the latency" —
+// by walking the list with per-object application think time, with and
+// without a background prefetcher racing ahead of the walk.
+func RunPrefetch(cfg Config, thinkTime time.Duration) ([]Point, error) {
+	size := cfg.Sizes[0]
+	var points []Point
+	for _, prefetch := range []bool{false, true} {
+		e, err := newEnv(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		head, err := e.buildList(cfg.ListLen, size)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		spec := replication.GetSpec{Mode: replication.Incremental, Batch: 1}
+		ref, err := e.clientRef(head, spec)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		series := "walk"
+		var pf *replication.Prefetcher
+		if prefetch {
+			series = "walk+prefetch"
+			pf = replication.NewPrefetcher(e.client)
+			pf.Prefetch(ref, 0)
+		}
+		start := time.Now()
+		cur := ref
+		for i := 0; i < cfg.ListLen; i++ {
+			if _, err := cur.Invoke("Touch"); err != nil {
+				e.close()
+				return nil, err
+			}
+			// The application "works" on each object; the prefetcher uses
+			// this time to stay ahead of the walk.
+			if thinkTime > 0 {
+				time.Sleep(thinkTime)
+			}
+			node, err := objmodel.Deref[*Node](cur)
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			cur = node.Next
+		}
+		total := time.Since(start)
+		if pf != nil {
+			pf.Close()
+		}
+		points = append(points, Point{
+			Experiment: "prefetch", Series: series, Size: size,
+			X: float64(cfg.ListLen), TotalMS: ms(total),
+			RMICalls: e.crt.Stats().CallsSent,
+		})
+		e.close()
+	}
+	return points, nil
+}

@@ -1,0 +1,261 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§4) on the simulated testbed.
+//
+//   - Table 1 (§4.1 text): per-invocation cost of LMI vs RMI.
+//   - Figure 4: total cost of RMI vs LMI over invocation count, per object
+//     size; LMI includes replica creation and the final put-back.
+//   - Figure 5: incremental replication of a 1000-object list without
+//     clustering (a proxy pair per object), over replication step sizes.
+//   - Figure 6: the same with clustering (one proxy pair per cluster).
+//
+// Plus the ablations DESIGN.md calls out (incremental vs transitive,
+// count- vs depth-bounded clusters). Each experiment point runs in a fresh
+// simulated deployment so link occupancy and runtime state never leak
+// between points.
+package bench
+
+import (
+	"fmt"
+
+	"obiwan/internal/heap"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+// Node is the benchmark workload object: a payload of configurable size
+// plus the references that shape the graph (list or tree).
+type Node struct {
+	Payload []byte
+	Next    *objmodel.Ref
+	Kids    []*objmodel.Ref
+}
+
+// Touch reads a field, so the invocation is not empty — mirroring the
+// paper's footnote: "this method performs an access to a variable of the
+// object, so it is not an empty method".
+func (n *Node) Touch() int { return len(n.Payload) }
+
+// SetPayload overwrites the payload (used by update-path experiments).
+func (n *Node) SetPayload(p []byte) { n.Payload = p }
+
+func init() {
+	objmodel.MustRegisterType("obiwan.bench.Node", (*Node)(nil))
+}
+
+// Config parameterizes the experiments. DefaultConfig reproduces the
+// paper's reconstructed parameters (see DESIGN.md).
+type Config struct {
+	// Profile is the link model between the two sites.
+	Profile netsim.Profile
+	// ListLen is the length of the figure-5/6 list.
+	ListLen int
+	// Sizes are the figure-5/6 object sizes in bytes.
+	Sizes []int
+	// Steps are the figure-5/6 replication step / cluster sizes.
+	Steps []int
+	// Fig4Sizes are the figure-4 object sizes.
+	Fig4Sizes []int
+	// Invocations are the figure-4 invocation counts.
+	Invocations []int
+	// TreeDepth is the depth of the ablation tree workload.
+	TreeDepth int
+}
+
+// DefaultConfig returns the paper-scale parameters on the calibrated
+// 10 Mb/s LAN.
+func DefaultConfig() Config {
+	return Config{
+		Profile:     netsim.LAN10,
+		ListLen:     1000,
+		Sizes:       []int{64, 1024, 16 * 1024},
+		Steps:       []int{1, 10, 50, 100, 500, 1000},
+		Fig4Sizes:   []int{16, 1024, 4096, 16 * 1024, 64 * 1024},
+		Invocations: []int{1, 10, 100, 1000, 10000},
+		TreeDepth:   7,
+	}
+}
+
+// QuickConfig returns a scaled-down variant for smoke tests and testing.B
+// benchmarks: same shape, two orders of magnitude faster.
+func QuickConfig() Config {
+	return Config{
+		Profile:     netsim.LAN10,
+		ListLen:     100,
+		Sizes:       []int{64, 1024},
+		Steps:       []int{1, 10, 100},
+		Fig4Sizes:   []int{16, 4096},
+		Invocations: []int{1, 10, 100},
+		TreeDepth:   5,
+	}
+}
+
+// Point is one measured experiment point.
+type Point struct {
+	// Experiment identifies the figure/table ("table1", "fig4", ...).
+	Experiment string
+	// Series labels the curve the point belongs to (e.g. "LMI 1024B").
+	Series string
+	// Size is the object payload size in bytes.
+	Size int
+	// Step is the replication step / cluster size (figures 5–6).
+	Step int
+	// X is the x-coordinate in the paper's plot (invocation count for
+	// figure 4, step size for figures 5–6).
+	X float64
+	// TotalMS is the measured wall-clock cost in milliseconds.
+	TotalMS float64
+	// PerOpUS is the per-invocation cost in microseconds.
+	PerOpUS float64
+	// RMICalls counts remote calls issued by the client during the point.
+	RMICalls uint64
+	// BytesSent counts client+server bytes put on the wire.
+	BytesSent uint64
+	// ProxyPairs counts proxy-ins exported at the master during the point.
+	ProxyPairs uint64
+}
+
+// env is one fresh two-site deployment.
+type env struct {
+	net    *transport.MemNetwork
+	srt    *rmi.Runtime
+	crt    *rmi.Runtime
+	server *replication.Engine
+	client *replication.Engine
+}
+
+// newEnv builds a fresh deployment over profile.
+func newEnv(profile netsim.Profile) (*env, error) {
+	net := transport.NewMemNetwork(profile)
+	srt, err := rmi.NewRuntime(net, "s2")
+	if err != nil {
+		return nil, err
+	}
+	crt, err := rmi.NewRuntime(net, "s1")
+	if err != nil {
+		_ = srt.Close()
+		return nil, err
+	}
+	return &env{
+		net:    net,
+		srt:    srt,
+		crt:    crt,
+		server: replication.NewEngine(srt, heap.New(2)),
+		client: replication.NewEngine(crt, heap.New(1)),
+	}, nil
+}
+
+func (e *env) close() {
+	_ = e.crt.Close()
+	_ = e.srt.Close()
+}
+
+// buildList creates the master list at the server and returns its head.
+func (e *env) buildList(n, size int) (*Node, error) {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Payload: make([]byte, size)}
+		if _, err := e.server.RegisterMaster(nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		ref, err := e.server.NewRef(nodes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i].Next = ref
+	}
+	return nodes[0], nil
+}
+
+// buildTree creates a complete binary tree of the given depth (depth 1 =
+// just the root) and returns the root and total node count.
+func (e *env) buildTree(depth, size int) (*Node, int, error) {
+	var build func(d int) (*Node, int, error)
+	build = func(d int) (*Node, int, error) {
+		node := &Node{Payload: make([]byte, size)}
+		if _, err := e.server.RegisterMaster(node); err != nil {
+			return nil, 0, err
+		}
+		count := 1
+		if d > 1 {
+			for i := 0; i < 2; i++ {
+				child, c, err := build(d - 1)
+				if err != nil {
+					return nil, 0, err
+				}
+				ref, err := e.server.NewRef(child)
+				if err != nil {
+					return nil, 0, err
+				}
+				node.Kids = append(node.Kids, ref)
+				count += c
+			}
+		}
+		return node, count, nil
+	}
+	return build(depth)
+}
+
+// clientRef exports head at the server and returns the client's faulting
+// reference with spec.
+func (e *env) clientRef(head *Node, spec replication.GetSpec) (*objmodel.Ref, error) {
+	d, err := e.server.ExportObject(head)
+	if err != nil {
+		return nil, err
+	}
+	return e.client.RefFromDescriptor(d, spec), nil
+}
+
+// walkList invokes Touch on each of the n list elements through the
+// reference chain, faulting objects in as the spec dictates.
+func walkList(ref *objmodel.Ref, n int) error {
+	cur := ref
+	for i := 0; i < n; i++ {
+		if cur == nil {
+			return fmt.Errorf("bench: list ended at %d of %d", i, n)
+		}
+		if _, err := cur.Invoke("Touch"); err != nil {
+			return fmt.Errorf("bench: invoke %d: %w", i, err)
+		}
+		node, err := objmodel.Deref[*Node](cur)
+		if err != nil {
+			return err
+		}
+		cur = node.Next
+	}
+	return nil
+}
+
+// walkTree invokes Touch on every node of the tree, breadth-first.
+func walkTree(root *objmodel.Ref) (int, error) {
+	queue := []*objmodel.Ref{root}
+	visited := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, err := cur.Invoke("Touch"); err != nil {
+			return visited, err
+		}
+		visited++
+		node, err := objmodel.Deref[*Node](cur)
+		if err != nil {
+			return visited, err
+		}
+		queue = append(queue, node.Kids...)
+	}
+	return visited, nil
+}
+
+// sizeLabel formats a byte size the way the paper's series are labelled.
+func sizeLabel(size int) string {
+	switch {
+	case size >= 1024 && size%1024 == 0:
+		return fmt.Sprintf("%dKB", size/1024)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}

@@ -1,0 +1,159 @@
+package consistency
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"obiwan/internal/objmodel"
+)
+
+func TestLastWriterWinsAcceptsEverything(t *testing.T) {
+	p := LastWriterWins{}
+	if err := p.ApplyPut(1, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	p.ReplicaCreated(1, "s1", 1)
+	p.MasterUpdated(1, 2)
+}
+
+func TestFirstWriterWins(t *testing.T) {
+	p := FirstWriterWins{}
+	if err := p.ApplyPut(1, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := p.ApplyPut(1, 6, 5)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale base: %v", err)
+	}
+	// Future base (shouldn't happen, but must not be silently accepted).
+	if err := p.ApplyPut(1, 5, 6); !errors.Is(err, ErrConflict) {
+		t.Fatalf("future base: %v", err)
+	}
+}
+
+type delivery struct {
+	site    string
+	oid     objmodel.OID
+	version uint64
+}
+
+func collectingNotifier() (Notifier, *[]delivery, *sync.Mutex) {
+	var mu sync.Mutex
+	var got []delivery
+	return func(site string, oid objmodel.OID, v uint64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, delivery{site, oid, v})
+		return nil
+	}, &got, &mu
+}
+
+func TestInvalidationNotifiesHolders(t *testing.T) {
+	notify, got, mu := collectingNotifier()
+	p := NewInvalidation(notify)
+	p.ReplicaCreated(7, "s1", 1)
+	p.ReplicaCreated(7, "s3", 1)
+	p.ReplicaCreated(7, "s1", 1) // duplicate registration is fine
+	p.ReplicaCreated(8, "s9", 1) // other object
+
+	p.MasterUpdated(7, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 2 {
+		t.Fatalf("deliveries: %+v", *got)
+	}
+	sites := []string{(*got)[0].site, (*got)[1].site}
+	sort.Strings(sites)
+	if sites[0] != "s1" || sites[1] != "s3" {
+		t.Fatalf("sites: %v", sites)
+	}
+	for _, d := range *got {
+		if d.oid != 7 || d.version != 2 {
+			t.Fatalf("delivery: %+v", d)
+		}
+	}
+}
+
+func TestInvalidationFailuresKeepHolderRegistered(t *testing.T) {
+	calls := 0
+	p := NewInvalidation(func(string, objmodel.OID, uint64) error {
+		calls++
+		return errors.New("offline")
+	})
+	p.ReplicaCreated(1, "mobile", 1)
+	p.MasterUpdated(1, 2) // fails, best-effort
+	p.MasterUpdated(1, 3) // holder still registered, retried
+	if calls != 2 {
+		t.Fatalf("notify calls: %d", calls)
+	}
+	if got := p.Holders(1); len(got) != 1 || got[0] != "mobile" {
+		t.Fatalf("holders: %v", got)
+	}
+	p.Forget(1, "mobile")
+	p.MasterUpdated(1, 4)
+	if calls != 2 {
+		t.Fatal("forgotten holder must not be notified")
+	}
+}
+
+func TestInvalidationEmptySiteIgnored(t *testing.T) {
+	notify, got, mu := collectingNotifier()
+	p := NewInvalidation(notify)
+	p.ReplicaCreated(1, "", 1)
+	p.MasterUpdated(1, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 0 {
+		t.Fatalf("anonymous requester must not register: %+v", *got)
+	}
+}
+
+func TestInvalidationBasePolicy(t *testing.T) {
+	p := NewInvalidation(func(string, objmodel.OID, uint64) error { return nil })
+	p.Base = FirstWriterWins{}
+	if err := p.ApplyPut(1, 5, 4); !errors.Is(err, ErrConflict) {
+		t.Fatalf("composed base: %v", err)
+	}
+}
+
+func TestStaleSet(t *testing.T) {
+	s := NewStaleSet()
+	if _, stale := s.IsStale(1); stale {
+		t.Fatal("fresh set")
+	}
+	s.MarkStale(1, 3)
+	s.MarkStale(1, 2) // older news must not regress
+	v, stale := s.IsStale(1)
+	if !stale || v != 3 {
+		t.Fatalf("stale: %d %v", v, stale)
+	}
+	s.MarkStale(2, 1)
+	if got := s.Stale(); len(got) != 2 {
+		t.Fatalf("stale list: %v", got)
+	}
+	s.Clear(1)
+	if _, stale := s.IsStale(1); stale {
+		t.Fatal("cleared")
+	}
+}
+
+func TestLease(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLease(time.Minute)
+	l.Clock = func() time.Time { return now }
+	fetched := now.Add(-30 * time.Second)
+	if l.Expired(fetched) {
+		t.Fatal("within ttl")
+	}
+	fetched = now.Add(-2 * time.Minute)
+	if !l.Expired(fetched) {
+		t.Fatal("past ttl")
+	}
+	l.TTL = 0
+	if l.Expired(fetched) {
+		t.Fatal("zero ttl disables expiry")
+	}
+}

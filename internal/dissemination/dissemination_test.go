@@ -1,0 +1,274 @@
+package dissemination
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"obiwan/internal/heap"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+type ticker struct {
+	Symbol string
+	Price  int64
+}
+
+func (t *ticker) Quote() int64 { return t.Price }
+
+func init() {
+	objmodel.MustRegisterType("dissem_test.ticker", (*ticker)(nil))
+}
+
+type fixture struct {
+	net    *transport.MemNetwork
+	master *replication.Engine
+	client *replication.Engine
+	pub    *Publisher
+	app    *Applier
+	tick   *ticker
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	net := transport.NewMemNetwork(netsim.Loopback)
+	mrt, err := rmi.NewRuntime(net, "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mrt.Close() })
+	crt, err := rmi.NewRuntime(net, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = crt.Close() })
+
+	f := &fixture{net: net}
+	f.master = replication.NewEngine(mrt, heap.New(2))
+	f.client = replication.NewEngine(crt, heap.New(1))
+	f.app = NewApplier(f.client)
+
+	// Deliver via a real RMI sink at the client.
+	sink := &updateSink{app: f.app}
+	sinkRef, err := crt.Export(sink, "test.UpdateSink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.pub = NewPublisher(f.master, func(site string, u *Update) error {
+		if site != "client" {
+			return errors.New("unknown site")
+		}
+		_, err := mrt.Call(sinkRef, "Push", u)
+		return err
+	})
+	f.master.SetPolicy(f.pub)
+
+	f.tick = &ticker{Symbol: "OBI", Price: 10}
+	if _, err := f.master.RegisterMaster(f.tick); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// replicate fetches the ticker at the client.
+func (f *fixture) replicate(t *testing.T) *ticker {
+	t.Helper()
+	d, err := f.master.ExportObject(f.tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := f.client.RefFromDescriptor(d, replication.DefaultSpec)
+	r, err := objmodel.Deref[*ticker](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+type updateSink struct {
+	mu  sync.Mutex
+	app *Applier
+	n   int
+}
+
+func (s *updateSink) Push(u *Update) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.app.Apply(u)
+}
+
+func (s *updateSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func TestPushDelivery(t *testing.T) {
+	f := setup(t)
+	r := f.replicate(t)
+	f.pub.Subscribe("client")
+
+	f.tick.Price = 11
+	if err := f.master.MarkUpdated(f.tick); err != nil {
+		t.Fatal(err)
+	}
+	if r.Price != 11 {
+		t.Fatalf("replica price after push: %d", r.Price)
+	}
+	e, _ := f.client.Heap().EntryOf(r)
+	if e.Version() != 2 {
+		t.Fatalf("replica version: %d", e.Version())
+	}
+}
+
+func TestOfflineSubscriberCatchesUp(t *testing.T) {
+	f := setup(t)
+	r := f.replicate(t)
+	f.pub.Subscribe("client")
+
+	f.net.Disconnect("master", "client")
+	for i := int64(1); i <= 3; i++ {
+		f.tick.Price = 10 + i
+		if err := f.master.MarkUpdated(f.tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Price != 10 {
+		t.Fatalf("offline replica mutated: %d", r.Price)
+	}
+	if f.pub.Lag("client") != 3 {
+		t.Fatalf("lag: %d", f.pub.Lag("client"))
+	}
+
+	f.net.Reconnect("master", "client")
+	delivered := f.pub.Flush()
+	if delivered != 3 {
+		t.Fatalf("flush delivered %d", delivered)
+	}
+	if r.Price != 13 {
+		t.Fatalf("replica after catch-up: %d", r.Price)
+	}
+	if f.pub.Lag("client") != 0 {
+		t.Fatalf("lag after flush: %d", f.pub.Lag("client"))
+	}
+}
+
+func TestPullPath(t *testing.T) {
+	f := setup(t)
+	r := f.replicate(t)
+	// No subscription: the client pulls instead.
+	for i := int64(1); i <= 4; i++ {
+		f.tick.Price = 10 + i
+		if err := f.master.MarkUpdated(f.tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	updates := f.pub.Pull(f.app.LastSeq())
+	if len(updates) != 4 {
+		t.Fatalf("pulled %d", len(updates))
+	}
+	for i := range updates {
+		if err := f.app.Apply(&updates[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Price != 14 {
+		t.Fatalf("replica after pull: %d", r.Price)
+	}
+	// Second pull is empty: sequence bookkeeping advanced.
+	if got := f.pub.Pull(f.app.LastSeq()); len(got) != 0 {
+		t.Fatalf("second pull: %d", len(got))
+	}
+}
+
+func TestDuplicateAndStaleUpdatesIgnored(t *testing.T) {
+	f := setup(t)
+	r := f.replicate(t)
+	f.tick.Price = 20
+	if err := f.master.MarkUpdated(f.tick); err != nil {
+		t.Fatal(err)
+	}
+	updates := f.pub.Pull(0)
+	if len(updates) != 1 {
+		t.Fatalf("log: %d", len(updates))
+	}
+	if err := f.app.Apply(&updates[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Price != 20 {
+		t.Fatalf("applied: %d", r.Price)
+	}
+	r.Price = 99 // local divergence
+	if err := f.app.Apply(&updates[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Price != 99 {
+		t.Fatal("duplicate update must be ignored (version not newer)")
+	}
+}
+
+func TestUpdateForUnknownObjectSkipped(t *testing.T) {
+	f := setup(t)
+	// Client never replicated the ticker.
+	f.tick.Price = 30
+	if err := f.master.MarkUpdated(f.tick); err != nil {
+		t.Fatal(err)
+	}
+	updates := f.pub.Pull(0)
+	if err := f.app.Apply(&updates[0]); err != nil {
+		t.Fatal(err)
+	}
+	if f.client.Heap().Len() != 0 {
+		t.Fatal("apply must not conjure replicas")
+	}
+}
+
+func TestLogBound(t *testing.T) {
+	f := setup(t)
+	f.pub.SetMaxLog(2)
+	for i := int64(1); i <= 5; i++ {
+		f.tick.Price = 10 + i
+		if err := f.master.MarkUpdated(f.tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.pub.Pull(0); len(got) != 2 {
+		t.Fatalf("bounded log kept %d", len(got))
+	}
+}
+
+func TestSubscribeBookkeeping(t *testing.T) {
+	f := setup(t)
+	f.pub.Subscribe("client")
+	f.pub.Subscribe("client") // idempotent
+	f.pub.Subscribe("")       // ignored
+	if got := f.pub.Subscribers(); len(got) != 1 || got[0] != "client" {
+		t.Fatalf("subscribers: %v", got)
+	}
+	f.pub.Unsubscribe("client")
+	if got := f.pub.Subscribers(); len(got) != 0 {
+		t.Fatalf("after unsubscribe: %v", got)
+	}
+	if f.pub.Lag("ghost") != 0 {
+		t.Fatal("unknown site lag")
+	}
+}
+
+func TestPublisherComposesBasePolicy(t *testing.T) {
+	f := setup(t)
+	f.pub.Base = rejectAll{}
+	if err := f.pub.ApplyPut(1, 1, 1); err == nil {
+		t.Fatal("base policy must decide acceptance")
+	}
+}
+
+type rejectAll struct{}
+
+func (rejectAll) ApplyPut(objmodel.OID, uint64, uint64) error {
+	return errors.New("rejected")
+}

@@ -1,0 +1,241 @@
+// Package invoke implements reflection-based method dispatch over decoded
+// wire values. It is shared by two layers that the paper treats as distinct
+// but structurally identical:
+//
+//   - the RMI skeleton (server-side dispatch of remote calls), and
+//   - local method invocation (LMI) through an OBIWAN reference, where the
+//     same call frame is applied to a local replica instead.
+//
+// Method tables are computed once per concrete type and cached.
+package invoke
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// ErrorKind classifies dispatch failures so transport layers can map them
+// to protocol faults.
+type ErrorKind uint8
+
+const (
+	// KindNoSuchMethod: the target type has no such exported method.
+	KindNoSuchMethod ErrorKind = iota + 1
+	// KindBadArgs: argument count or type mismatch.
+	KindBadArgs
+	// KindApp: the method itself returned a non-nil error.
+	KindApp
+)
+
+// Error is a classified dispatch failure.
+type Error struct {
+	Kind    ErrorKind
+	Method  string
+	Message string
+	// Cause is the application error for KindApp.
+	Cause error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("invoke: %s: %s", e.Method, e.Message)
+}
+
+func (e *Error) Unwrap() error { return e.Cause }
+
+var (
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+
+	tableMu sync.RWMutex
+	tables  = make(map[reflect.Type]map[string]reflect.Method)
+)
+
+// MethodTable returns the exported method set of t, cached. Types with no
+// exported methods are rejected.
+func MethodTable(t reflect.Type) (map[string]reflect.Method, error) {
+	tableMu.RLock()
+	cached, ok := tables[t]
+	tableMu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	methods := make(map[string]reflect.Method, t.NumMethod())
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		if m.IsExported() {
+			methods[m.Name] = m
+		}
+	}
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("invoke: type %v has no exported methods", t)
+	}
+	tableMu.Lock()
+	tables[t] = methods
+	tableMu.Unlock()
+	return methods, nil
+}
+
+// Call invokes method on recv with decoded wire arguments, adapting each
+// argument to the declared parameter type. A trailing error result is
+// stripped: nil vanishes, non-nil comes back as a KindApp *Error.
+func Call(recv any, method string, args []any) ([]any, error) {
+	rv := reflect.ValueOf(recv)
+	table, err := MethodTable(rv.Type())
+	if err != nil {
+		return nil, &Error{Kind: KindNoSuchMethod, Method: method, Message: err.Error()}
+	}
+	return CallWithTable(rv, table, method, args)
+}
+
+// CallWithTable is Call with a pre-resolved receiver value and method table,
+// for dispatchers that cache both.
+func CallWithTable(recv reflect.Value, table map[string]reflect.Method, method string, args []any) ([]any, error) {
+	m, ok := table[method]
+	if !ok {
+		return nil, &Error{
+			Kind: KindNoSuchMethod, Method: method,
+			Message: fmt.Sprintf("%v has no method %s", recv.Type(), method),
+		}
+	}
+	mt := m.Type
+	wantArgs := mt.NumIn() - 1 // parameter 0 is the receiver
+	variadic := mt.IsVariadic()
+	if (!variadic && len(args) != wantArgs) || (variadic && len(args) < wantArgs-1) {
+		return nil, &Error{
+			Kind: KindBadArgs, Method: method,
+			Message: fmt.Sprintf("wants %d args, got %d", wantArgs, len(args)),
+		}
+	}
+	in := make([]reflect.Value, 0, len(args)+1)
+	in = append(in, recv)
+	for i, a := range args {
+		var pt reflect.Type
+		if variadic && i >= wantArgs-1 {
+			pt = mt.In(mt.NumIn() - 1).Elem()
+		} else {
+			pt = mt.In(i + 1)
+		}
+		av, err := ConvertArg(a, pt)
+		if err != nil {
+			return nil, &Error{
+				Kind: KindBadArgs, Method: method,
+				Message: fmt.Sprintf("arg %d: %v", i, err),
+			}
+		}
+		in = append(in, av)
+	}
+
+	out := m.Func.Call(in)
+
+	if n := len(out); n > 0 && mt.Out(n-1) == errType {
+		if errv := out[n-1]; !errv.IsNil() {
+			cause := errv.Interface().(error)
+			return nil, &Error{Kind: KindApp, Method: method, Message: cause.Error(), Cause: cause}
+		}
+		out = out[:n-1]
+	}
+	results := make([]any, len(out))
+	for i, v := range out {
+		results[i] = v.Interface()
+	}
+	return results, nil
+}
+
+// ConvertArg adapts a decoded wire value (canonical types: bool, int64,
+// uint64, float64, string, []byte, []any, map[string]any, *Struct, ...) to
+// the declared parameter type pt.
+func ConvertArg(a any, pt reflect.Type) (reflect.Value, error) {
+	if a == nil {
+		switch pt.Kind() {
+		case reflect.Pointer, reflect.Interface, reflect.Slice, reflect.Map:
+			return reflect.Zero(pt), nil
+		default:
+			return reflect.Value{}, fmt.Errorf("nil not assignable to %v", pt)
+		}
+	}
+	av := reflect.ValueOf(a)
+	at := av.Type()
+	if at.AssignableTo(pt) {
+		return av, nil
+	}
+	// Registered structs decode as *T; accept a T parameter too.
+	if at.Kind() == reflect.Pointer && at.Elem().AssignableTo(pt) {
+		return av.Elem(), nil
+	}
+	switch pt.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if i, ok := wireInt(a); ok {
+			out := reflect.New(pt).Elem()
+			if out.OverflowInt(i) {
+				return reflect.Value{}, fmt.Errorf("value %d overflows %v", i, pt)
+			}
+			out.SetInt(i)
+			return out, nil
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		if u, ok := wireUint(a); ok {
+			out := reflect.New(pt).Elem()
+			if out.OverflowUint(u) {
+				return reflect.Value{}, fmt.Errorf("value %d overflows %v", u, pt)
+			}
+			out.SetUint(u)
+			return out, nil
+		}
+	case reflect.Float32, reflect.Float64:
+		if f, ok := a.(float64); ok {
+			out := reflect.New(pt).Elem()
+			out.SetFloat(f)
+			return out, nil
+		}
+	case reflect.Interface:
+		if at.Implements(pt) {
+			return av, nil
+		}
+	case reflect.Slice:
+		// []any → []T element-wise.
+		if src, ok := a.([]any); ok {
+			out := reflect.MakeSlice(pt, len(src), len(src))
+			for i, el := range src {
+				ev, err := ConvertArg(el, pt.Elem())
+				if err != nil {
+					return reflect.Value{}, fmt.Errorf("[%d]: %w", i, err)
+				}
+				out.Index(i).Set(ev)
+			}
+			return out, nil
+		}
+	case reflect.String:
+		if s, ok := a.(string); ok {
+			return reflect.ValueOf(s).Convert(pt), nil
+		}
+	}
+	return reflect.Value{}, fmt.Errorf("%T not assignable to %v", a, pt)
+}
+
+func wireInt(a any) (int64, bool) {
+	switch v := a.(type) {
+	case int64:
+		return v, true
+	case uint64:
+		if v > 1<<63-1 {
+			return 0, false
+		}
+		return int64(v), true
+	default:
+		return 0, false
+	}
+}
+
+func wireUint(a any) (uint64, bool) {
+	switch v := a.(type) {
+	case uint64:
+		return v, true
+	case int64:
+		if v < 0 {
+			return 0, false
+		}
+		return uint64(v), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,160 @@
+package invoke
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+type svc struct {
+	last string
+}
+
+func (s *svc) Greet(name string) string { return "hi " + name }
+
+func (s *svc) Record(v string) { s.last = v }
+
+func (s *svc) Fail() error { return errors.New("nope") }
+
+func (s *svc) Both(x int64) (int64, error) { return x + 1, nil }
+
+func (s *svc) Many(xs ...string) int { return len(xs) }
+
+func (s *svc) unexported() {} //nolint:unused // verifies filtering
+
+func TestMethodTableFiltersExported(t *testing.T) {
+	tab, err := MethodTable(reflect.TypeOf(&svc{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab["Greet"]; !ok {
+		t.Fatal("Greet missing")
+	}
+	if _, ok := tab["unexported"]; ok {
+		t.Fatal("unexported leaked")
+	}
+	// Cached: same map back.
+	tab2, err := MethodTable(reflect.TypeOf(&svc{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(tab).Pointer() != reflect.ValueOf(tab2).Pointer() {
+		t.Fatal("method table not cached")
+	}
+}
+
+func TestMethodTableRejectsBareTypes(t *testing.T) {
+	if _, err := MethodTable(reflect.TypeOf(42)); err == nil {
+		t.Fatal("int must be rejected")
+	}
+}
+
+func TestCallHappyPath(t *testing.T) {
+	s := &svc{}
+	res, err := Call(s, "Greet", []any{"bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "hi bob" {
+		t.Fatalf("res: %#v", res)
+	}
+	// Void method with side effect.
+	res, err = Call(s, "Record", []any{"x"})
+	if err != nil || len(res) != 0 || s.last != "x" {
+		t.Fatalf("record: %v %v %q", res, err, s.last)
+	}
+}
+
+func TestCallErrorClassification(t *testing.T) {
+	s := &svc{}
+	var ie *Error
+
+	_, err := Call(s, "Missing", nil)
+	if !errors.As(err, &ie) || ie.Kind != KindNoSuchMethod {
+		t.Fatalf("missing: %v", err)
+	}
+	_, err = Call(s, "Greet", []any{"a", "b"})
+	if !errors.As(err, &ie) || ie.Kind != KindBadArgs {
+		t.Fatalf("arity: %v", err)
+	}
+	_, err = Call(s, "Greet", []any{int64(3)})
+	if !errors.As(err, &ie) || ie.Kind != KindBadArgs {
+		t.Fatalf("type: %v", err)
+	}
+	_, err = Call(s, "Fail", nil)
+	if !errors.As(err, &ie) || ie.Kind != KindApp || ie.Message != "nope" {
+		t.Fatalf("app: %v", err)
+	}
+	if errors.Unwrap(ie) == nil {
+		t.Fatal("app error must unwrap to the cause")
+	}
+}
+
+func TestCallStripsTrailingNilError(t *testing.T) {
+	res, err := Call(&svc{}, "Both", []any{int64(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != int64(5) {
+		t.Fatalf("res: %#v", res)
+	}
+}
+
+func TestCallVariadic(t *testing.T) {
+	res, err := Call(&svc{}, "Many", []any{"a", "b", "c"})
+	if err != nil || res[0] != 3 {
+		t.Fatalf("variadic: %v %v", res, err)
+	}
+	res, err = Call(&svc{}, "Many", nil)
+	if err != nil || res[0] != 0 {
+		t.Fatalf("empty variadic: %v %v", res, err)
+	}
+}
+
+func TestConvertArgMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		in   any
+		pt   reflect.Type
+		ok   bool
+		want any
+	}{
+		{"identity", "s", reflect.TypeOf(""), true, "s"},
+		{"int64→int", int64(5), reflect.TypeOf(int(0)), true, 5},
+		{"int64→int8 overflow", int64(300), reflect.TypeOf(int8(0)), false, nil},
+		{"uint64→int64", uint64(5), reflect.TypeOf(int64(0)), true, int64(5)},
+		{"uint64 huge→int64", uint64(1 << 63), reflect.TypeOf(int64(0)), false, nil},
+		{"int64 neg→uint", int64(-1), reflect.TypeOf(uint(0)), false, nil},
+		{"float64→float32", float64(1.5), reflect.TypeOf(float32(0)), true, float32(1.5)},
+		{"nil→pointer", nil, reflect.TypeOf((*svc)(nil)), true, (*svc)(nil)},
+		{"nil→int", nil, reflect.TypeOf(0), false, nil},
+		{"[]any→[]string", []any{"a", "b"}, reflect.TypeOf([]string(nil)), true, []string{"a", "b"}},
+		{"[]any bad elem", []any{"a", int64(1)}, reflect.TypeOf([]string(nil)), false, nil},
+		{"string→named string", "x", reflect.TypeOf(namedString("")), true, namedString("x")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := ConvertArg(tc.in, tc.pt)
+			if tc.ok != (err == nil) {
+				t.Fatalf("ok=%v err=%v", tc.ok, err)
+			}
+			if err == nil && !reflect.DeepEqual(v.Interface(), tc.want) {
+				t.Fatalf("got %#v want %#v", v.Interface(), tc.want)
+			}
+		})
+	}
+}
+
+type namedString string
+
+func TestCallOnValueReceiverSet(t *testing.T) {
+	// Methods declared on the value type are callable via the pointer too.
+	res, err := Call(valRecv{7}, "Get", nil)
+	if err != nil || res[0] != 7 {
+		t.Fatalf("value receiver: %v %v", res, err)
+	}
+}
+
+type valRecv struct{ n int }
+
+func (v valRecv) Get() int { return v.n }

@@ -1,0 +1,110 @@
+package objmodel
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Reference discovery is on the replication hot path: payload assembly
+// calls RefsOf once per shipped object. A naive reflective walk visits
+// every field of every nested value; the plan cache below computes, once
+// per type, which top-level fields can possibly contain references — a
+// payload field ([]byte, string, int...) is skipped without reflection.
+
+// refFieldKind classifies how a field is scanned.
+type refFieldKind uint8
+
+const (
+	// refDirect is a *Ref field: read it straight.
+	refDirect refFieldKind = iota
+	// refScan is a container/nested field that may hold refs: walk it
+	// dynamically.
+	refScan
+)
+
+type refField struct {
+	index int
+	kind  refFieldKind
+}
+
+// refPlan lists the fields of a struct type worth scanning.
+type refPlan struct {
+	fields []refField
+}
+
+var (
+	planMu    sync.RWMutex
+	plans     = make(map[reflect.Type]*refPlan)
+	containMu sync.Mutex
+	contains  = make(map[reflect.Type]bool)
+)
+
+// planFor returns (building and caching if needed) the scan plan for a
+// struct type.
+func planFor(t reflect.Type) *refPlan {
+	planMu.RLock()
+	p, ok := plans[t]
+	planMu.RUnlock()
+	if ok {
+		return p
+	}
+	p = &refPlan{}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		switch {
+		case f.Type == refType:
+			p.fields = append(p.fields, refField{index: i, kind: refDirect})
+		case couldContainRef(f.Type):
+			p.fields = append(p.fields, refField{index: i, kind: refScan})
+		}
+	}
+	planMu.Lock()
+	plans[t] = p
+	planMu.Unlock()
+	return p
+}
+
+// couldContainRef conservatively reports whether a value of type t can
+// reach a *Ref through exported structure. Interfaces report true (their
+// dynamic type is unknown).
+func couldContainRef(t reflect.Type) bool {
+	containMu.Lock()
+	defer containMu.Unlock()
+	return couldContainRefLocked(t)
+}
+
+func couldContainRefLocked(t reflect.Type) bool {
+	if t == refType {
+		return true
+	}
+	if v, ok := contains[t]; ok {
+		return v
+	}
+	// Tentatively false: breaks recursion cycles; any real ref path that
+	// does not pass through the cycle still reports true.
+	contains[t] = false
+	var result bool
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		result = couldContainRefLocked(t.Elem())
+	case reflect.Map:
+		result = couldContainRefLocked(t.Elem())
+	case reflect.Interface:
+		result = true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.IsExported() && couldContainRefLocked(f.Type) {
+				result = true
+				break
+			}
+		}
+	default:
+		result = false
+	}
+	contains[t] = result
+	return result
+}

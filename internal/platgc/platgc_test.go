@@ -1,0 +1,50 @@
+package platgc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAndLiveness(t *testing.T) {
+	var a Accountant
+	if s := a.Snapshot(); s != (Stats{}) {
+		t.Fatalf("zero value: %+v", s)
+	}
+	a.ProxyOutCreated()
+	a.ProxyOutCreated()
+	a.ProxyOutReclaimed()
+	a.FaultServedFromHeap()
+	a.ProxyInExported()
+	a.ProxyInReused()
+	s := a.Snapshot()
+	if s.ProxyOutsCreated != 2 || s.ProxyOutsReclaimed != 1 {
+		t.Fatalf("proxy-outs: %+v", s)
+	}
+	if s.LiveProxyOuts() != 1 {
+		t.Fatalf("live: %d", s.LiveProxyOuts())
+	}
+	if s.FaultsServedFromHeap != 1 || s.ProxyInsExported != 1 || s.ProxyInsReused != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	var a Accountant
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.ProxyOutCreated()
+				a.ProxyOutReclaimed()
+			}
+		}()
+	}
+	wg.Wait()
+	s := a.Snapshot()
+	if s.ProxyOutsCreated != workers*per || s.LiveProxyOuts() != 0 {
+		t.Fatalf("stats after concurrency: %+v", s)
+	}
+}

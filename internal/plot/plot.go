@@ -1,0 +1,196 @@
+// Package plot renders benchmark point series as self-contained SVG line
+// charts, so `obiwan-bench -svg` regenerates the paper's figures as actual
+// figures, not just tables. Stdlib only: the SVG is assembled textually.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select log10 axes (every coordinate must be > 0).
+	LogX, LogY bool
+	Series     []Series
+}
+
+// Geometry constants (viewbox units).
+const (
+	chartW  = 720
+	chartH  = 440
+	marginL = 70
+	marginR = 170 // room for the legend
+	marginT = 40
+	marginB = 55
+)
+
+// palette cycles for series strokes.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+// SVG renders the chart. An error is returned when the data cannot be
+// plotted (no points, or non-positive values on a log axis).
+func SVG(c Chart) (string, error) {
+	var xs, ys []float64
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if c.LogX && p.X <= 0 {
+				return "", fmt.Errorf("plot: log-x axis with x=%v in %q", p.X, s.Label)
+			}
+			if c.LogY && p.Y <= 0 {
+				return "", fmt.Errorf("plot: log-y axis with y=%v in %q", p.Y, s.Label)
+			}
+			xs = append(xs, xval(c, p.X))
+			ys = append(ys, yval(c, p.Y))
+		}
+	}
+	if len(xs) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no points", c.Title)
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom at the top.
+	ymax += (ymax - ymin) * 0.05
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(chartH-marginB) - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, chartH-marginB, chartW-marginR, chartH-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, chartH-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), chartH-12, esc(axisLabel(c.XLabel, c.LogX)))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), esc(axisLabel(c.YLabel, c.LogY)))
+
+	// Ticks: five per axis, back-converted through the log transform.
+	for i := 0; i <= 4; i++ {
+		tx := xmin + (xmax-xmin)*float64(i)/4
+		ty := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px(tx), chartH-marginB, px(tx), chartH-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px(tx), chartH-marginB+18, tick(c.LogX, tx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py(ty), marginL, py(ty))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-8, py(ty), tick(c.LogY, ty))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		var path strings.Builder
+		for j, p := range pts {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(xval(c, p.X)), py(yval(c, p.Y)))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n",
+				px(xval(c, p.X)), py(yval(c, p.Y)), color)
+		}
+		// Legend entry.
+		ly := marginT + 14 + i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			chartW-marginR+12, ly, chartW-marginR+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			chartW-marginR+40, ly, esc(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func xval(c Chart, x float64) float64 {
+	if c.LogX {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func yval(c Chart, y float64) float64 {
+	if c.LogY {
+		return math.Log10(y)
+	}
+	return y
+}
+
+func axisLabel(label string, log bool) string {
+	if log {
+		return label + " (log scale)"
+	}
+	return label
+}
+
+// tick formats an axis tick, undoing the log transform.
+func tick(log bool, v float64) string {
+	if log {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

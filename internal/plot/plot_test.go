@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title:  "Test & Chart <1>",
+		XLabel: "x",
+		YLabel: "y (ms)",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1, 10}, {2, 20}, {3, 15}}},
+			{Label: "b", Points: []Point{{1, 5}, {3, 40}}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := SVG(lineChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg xmlns=",
+		"Test &amp; Chart &lt;1&gt;", // escaping
+		`<path d="M`,                 // series paths
+		"<circle",                    // point markers
+		">a</text>",                  // legend entries
+		">b</text>",
+		"</svg>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<path"); got != 2 {
+		t.Fatalf("paths: %d", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 5 {
+		t.Fatalf("markers: %d", got)
+	}
+}
+
+func TestSVGLogAxes(t *testing.T) {
+	c := lineChart()
+	c.LogX, c.LogY = true, true
+	svg, err := SVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "x (log scale)") || !strings.Contains(svg, "y (ms) (log scale)") {
+		t.Fatal("log axis labels missing")
+	}
+}
+
+func TestSVGRejectsBadData(t *testing.T) {
+	if _, err := SVG(Chart{Title: "empty"}); err == nil {
+		t.Fatal("empty chart must fail")
+	}
+	c := lineChart()
+	c.LogY = true
+	c.Series[0].Points[0].Y = 0
+	if _, err := SVG(c); err == nil {
+		t.Fatal("zero on a log axis must fail")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// A single point and identical values must still render.
+	svg, err := SVG(Chart{
+		Title:  "flat",
+		Series: []Series{{Label: "s", Points: []Point{{1, 7}, {2, 7}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	if got := tick(false, 12345); got != "1.23e+04" {
+		t.Fatalf("big tick: %q", got)
+	}
+	if got := tick(false, 42); got != "42" {
+		t.Fatalf("mid tick: %q", got)
+	}
+	if got := tick(true, 2); got != "100" { // 10^2
+		t.Fatalf("log tick: %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"obiwan/internal/transport"
+)
+
+const peer = transport.Addr("server")
+
+func TestMonitorEWMA(t *testing.T) {
+	m := NewMonitor()
+	if _, ok := m.RTT(peer); ok {
+		t.Fatal("no samples yet")
+	}
+	m.Observe(peer, "M", 10*time.Millisecond, nil)
+	rtt, ok := m.RTT(peer)
+	if !ok || rtt != 10*time.Millisecond {
+		t.Fatalf("first sample: %v %v", rtt, ok)
+	}
+	// A faster sample pulls the estimate down, but not all the way.
+	m.Observe(peer, "M", 2*time.Millisecond, nil)
+	rtt, _ = m.RTT(peer)
+	if rtt >= 10*time.Millisecond || rtt <= 2*time.Millisecond {
+		t.Fatalf("ewma: %v", rtt)
+	}
+}
+
+func TestMonitorHealthTracksLastOutcome(t *testing.T) {
+	m := NewMonitor()
+	if !m.Healthy(peer) {
+		t.Fatal("unknown peers are optimistically healthy")
+	}
+	m.Observe(peer, "M", 5*time.Millisecond, nil)
+	if !m.Healthy(peer) {
+		t.Fatal("healthy after success")
+	}
+	m.Observe(peer, "M", 0, errors.New("link down"))
+	if m.Healthy(peer) {
+		t.Fatal("unhealthy after failure")
+	}
+	if m.Failures(peer) != 1 {
+		t.Fatalf("failures: %d", m.Failures(peer))
+	}
+	time.Sleep(time.Millisecond)
+	m.Observe(peer, "M", 5*time.Millisecond, nil)
+	if !m.Healthy(peer) {
+		t.Fatal("healthy again after recovery")
+	}
+}
+
+func TestFailedCallsDoNotPolluteRTT(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 5*time.Millisecond, nil)
+	m.Observe(peer, "M", 10*time.Second, errors.New("timeout"))
+	rtt, _ := m.RTT(peer)
+	if rtt != 5*time.Millisecond {
+		t.Fatalf("rtt after failure: %v", rtt)
+	}
+}
+
+func TestAdvisorSkiRental(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 3*time.Millisecond, nil)
+	a := NewAdvisor(m, peer)
+	if a.Crossover(1, 1) {
+		t.Fatal("first call should stay remote")
+	}
+	if !a.Crossover(1, 2) {
+		t.Fatal("second call should replicate (FetchFactor=2)")
+	}
+	a.FetchFactor = 5
+	if a.Crossover(1, 4) {
+		t.Fatal("below custom factor")
+	}
+	if !a.Crossover(1, 5) {
+		t.Fatal("at custom factor")
+	}
+}
+
+func TestAdvisorDeadLinkForcesLocal(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 0, errors.New("down"))
+	a := NewAdvisor(m, peer)
+	if !a.Crossover(1, 1) {
+		t.Fatal("dead link must force the local plan")
+	}
+}
+
+func TestAdvisorSlowLinkForcesLocal(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 400*time.Millisecond, nil)
+	a := NewAdvisor(m, peer)
+	a.MaxRemoteRTT = 100 * time.Millisecond
+	if !a.Crossover(1, 1) {
+		t.Fatal("slow link should replicate immediately")
+	}
+	a.MaxRemoteRTT = time.Second
+	if a.Crossover(1, 1) {
+		t.Fatal("fast-enough link stays remote on call 1")
+	}
+}

@@ -1,0 +1,179 @@
+package replication
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/transport"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	net := transport.NewMemNetwork(netsim.Loopback)
+	master := newTestSite(t, net, "s2", 7)
+	docs := buildChain(t, master, 5, 16)
+	docs[2].Name = "middle, edited"
+	if err := master.engine.MarkUpdated(docs[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := master.engine.CheckpointMasters(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh incarnation with the same site id restores the universe.
+	incarnation := newTestSite(t, net, "s2b", 7)
+	restored, err := incarnation.engine.RestoreMasters(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 5 {
+		t.Fatalf("restored %d objects", len(restored))
+	}
+
+	// Identities, versions, state, and the chain structure survive.
+	origHead, _ := master.heap.EntryOf(docs[0])
+	obj, ok := restored[origHead.OID]
+	if !ok {
+		t.Fatal("head identity lost")
+	}
+	head := obj.(*doc)
+	if head.Name != "doc-0" || len(head.Body) != 16 {
+		t.Fatalf("head state: %+v", head)
+	}
+	cur := head
+	for i := 1; i < 5; i++ {
+		next, err := objmodel.Deref[*doc](cur.Next)
+		if err != nil {
+			t.Fatalf("chain broken at %d: %v", i, err)
+		}
+		cur = next
+	}
+	if cur.Name != "middle, edited" && cur.Name != "doc-4" {
+		t.Fatalf("tail: %q", cur.Name)
+	}
+	// The edited object's version survived.
+	e2, _ := master.heap.EntryOf(docs[2])
+	r2, _ := incarnation.heap.Get(e2.OID)
+	if r2.Version() != 2 {
+		t.Fatalf("restored version: %d", r2.Version())
+	}
+
+	// New masters mint identities above the restored range.
+	fresh := &doc{Name: "post-restore"}
+	fe, err := incarnation.engine.RegisterMaster(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, clash := restored[fe.OID]; clash {
+		t.Fatalf("fresh OID %v collides with restored range", fe.OID)
+	}
+
+	// The restored universe serves replication as before.
+	client := newTestSite(t, net, "s1", 1)
+	desc, err := incarnation.engine.ExportObject(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := client.engine.RefFromDescriptor(desc, GetSpec{Mode: Transitive})
+	croot, err := objmodel.Deref[*doc](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if croot.Name != "doc-0" || client.heap.Len() != 5 {
+		t.Fatalf("replication from restored site: %q, heap %d", croot.Name, client.heap.Len())
+	}
+}
+
+func TestCheckpointSkipsReplicas(t *testing.T) {
+	master, client := twoSites(t)
+	docs := buildChain(t, master, 2, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Transitive})
+	if _, err := ref.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := client.engine.CheckpointMasters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The client holds only replicas: its checkpoint is empty.
+	fresh := newTestSite(t, transport.NewMemNetwork(netsim.Loopback), "f", 1)
+	restored, err := fresh.engine.RestoreMasters(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("replicas leaked into checkpoint: %d", len(restored))
+	}
+}
+
+func TestCheckpointPreservesFrontierToOtherSites(t *testing.T) {
+	// A master whose graph references a replica of ANOTHER site's object:
+	// after restore, the reference must proxy back to the upstream master.
+	net := transport.NewMemNetwork(netsim.Loopback)
+	s2 := newTestSite(t, net, "s2", 2)
+	s3 := newTestSite(t, net, "s3", 3)
+
+	upstream := &doc{Name: "upstream"}
+	if _, err := s3.engine.RegisterMaster(upstream); err != nil {
+		t.Fatal(err)
+	}
+	udesc, err := s3.engine.ExportObject(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2 masters an object pointing at an unresolved proxy to s3.
+	local := &doc{Name: "local"}
+	if _, err := s2.engine.RegisterMaster(local); err != nil {
+		t.Fatal(err)
+	}
+	local.Next = s2.engine.RefFromDescriptor(udesc, DefaultSpec)
+
+	var buf bytes.Buffer
+	if err := s2.engine.CheckpointMasters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	incarnation := newTestSite(t, net, "s2b", 2)
+	restored, err := incarnation.engine.RestoreMasters(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s2.heap.EntryOf(local)
+	head := restored[e.OID].(*doc)
+	res, err := head.Next.Invoke("Title")
+	if err != nil || res[0] != "upstream" {
+		t.Fatalf("cross-site frontier after restore: %v %v", res, err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	net := transport.NewMemNetwork(netsim.Loopback)
+	s := newTestSite(t, net, "x", 4)
+
+	if _, err := s.engine.RestoreMasters(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk stream must be rejected")
+	}
+
+	// Wrong site id.
+	other := newTestSite(t, net, "y", 5)
+	buildChain(t, other, 1, 4)
+	var buf bytes.Buffer
+	if err := other.engine.CheckpointMasters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.engine.RestoreMasters(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("cross-site restore must be rejected")
+	}
+
+	// Identity collision: restoring twice into the same heap.
+	incarnation := newTestSite(t, net, "y2", 5)
+	if _, err := incarnation.engine.RestoreMasters(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incarnation.engine.RestoreMasters(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("double restore must collide")
+	}
+}

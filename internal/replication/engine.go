@@ -1,0 +1,809 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/heap"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/platgc"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+// Policy is the consistency hook surface the engine calls into. The paper
+// leaves replica consistency to the application, providing only the hooks:
+// "the application programmer is not forced to deal with consistency; he
+// may simply use a library of specific consistency protocols" (§2.1).
+// Package consistency provides such a library.
+type Policy interface {
+	// ApplyPut decides whether an update based on baseVersion may be
+	// applied to a master currently at curVersion. Returning an error
+	// rejects the update and surfaces it at the putting site.
+	ApplyPut(oid objmodel.OID, curVersion, baseVersion uint64) error
+	// ReplicaCreated runs at the master when a site fetches a replica.
+	ReplicaCreated(oid objmodel.OID, site string, version uint64)
+	// MasterUpdated runs at the master after an update is applied.
+	MasterUpdated(oid objmodel.OID, newVersion uint64)
+}
+
+// acceptAll is the paper's default: the programmer owns consistency.
+type acceptAll struct{}
+
+func (acceptAll) ApplyPut(objmodel.OID, uint64, uint64) error { return nil }
+func (acceptAll) ReplicaCreated(objmodel.OID, string, uint64) {}
+func (acceptAll) MasterUpdated(objmodel.OID, uint64)          {}
+
+// Crossover advises ModeAuto references: given the peer site serving the
+// object and the number of invocations so far through a reference, should
+// the target be replicated now? The QoS package provides an implementation
+// based on the figure-4 cost model.
+type Crossover func(peer transport.Addr, oid objmodel.OID, calls uint64) bool
+
+// Engine errors.
+var (
+	// ErrClusterMember is returned by Put for replicas that arrived inside
+	// a cluster: "each object can not be individually updated" (§4.3).
+	// Use PutCluster instead.
+	ErrClusterMember = errors.New("replication: object is a cluster member; use PutCluster")
+	// ErrNotReplica is returned by Put/Refresh on masters.
+	ErrNotReplica = errors.New("replication: object is not a replica")
+	// ErrNoProvider is returned when a replica has no proxy-in to talk to.
+	ErrNoProvider = errors.New("replication: replica has no provider")
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy installs a consistency policy (default: accept everything).
+func WithPolicy(p Policy) Option {
+	return func(e *Engine) {
+		if p != nil {
+			e.policy = p
+		}
+	}
+}
+
+// WithCrossover installs the ModeAuto advisor.
+func WithCrossover(c Crossover) Option {
+	return func(e *Engine) { e.crossover = c }
+}
+
+// BulkTimeout is the per-call deadline for replication data transfers
+// (Get/Put/PutCluster). Bulk payloads — a transitive closure of a large
+// graph on a thin link — legitimately take far longer than interactive
+// RMI calls, so they do not use the runtime's default call timeout.
+const BulkTimeout = 5 * time.Minute
+
+// Engine is a site's replication runtime: master-side payload assembly and
+// proxy-in exports, client-side materialization and proxy-out faults.
+type Engine struct {
+	rt        *rmi.Runtime
+	heap      *heap.Heap
+	reg       *codec.Registry
+	policy    Policy
+	crossover Crossover
+	observer  EventObserver
+	gc        platgc.Accountant
+
+	mu        sync.Mutex
+	proxyIns  map[objmodel.OID]rmi.RemoteRef  // exported proxy-in per object
+	clusters  map[objmodel.OID][]objmodel.OID // cluster root → member OIDs (client side)
+	inCluster map[objmodel.OID]objmodel.OID   // member → cluster root (client side)
+}
+
+// NewEngine builds the replication engine for one site.
+func NewEngine(rt *rmi.Runtime, h *heap.Heap, opts ...Option) *Engine {
+	e := &Engine{
+		rt:        rt,
+		heap:      h,
+		reg:       rt.Registry(),
+		policy:    acceptAll{},
+		proxyIns:  make(map[objmodel.OID]rmi.RemoteRef),
+		clusters:  make(map[objmodel.OID][]objmodel.OID),
+		inCluster: make(map[objmodel.OID]objmodel.OID),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Heap returns the engine's object store.
+func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Runtime returns the engine's RMI runtime.
+func (e *Engine) Runtime() *rmi.Runtime { return e.rt }
+
+// GC returns the platform-object ledger.
+func (e *Engine) GC() *platgc.Accountant { return &e.gc }
+
+// SetCrossover installs the ModeAuto advisor at run time.
+func (e *Engine) SetCrossover(c Crossover) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crossover = c
+}
+
+// SetPolicy installs a consistency policy at run time (nil restores the
+// accept-all default).
+func (e *Engine) SetPolicy(p Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p == nil {
+		p = acceptAll{}
+	}
+	e.policy = p
+}
+
+func (e *Engine) getCrossover() Crossover {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crossover
+}
+
+// RegisterMaster adds obj to this site's heap as a master object.
+func (e *Engine) RegisterMaster(obj any) (*heap.Entry, error) {
+	return e.heap.AddMaster(obj)
+}
+
+// NewRef returns a Ref bound to target, registering target as a master if
+// it is not yet in the heap. This is how applications build object graphs:
+//
+//	a.Next = engine.NewRef(b)
+func (e *Engine) NewRef(target any) (*objmodel.Ref, error) {
+	entry, ok := e.heap.EntryOf(target)
+	if !ok {
+		var err error
+		entry, err = e.heap.AddMaster(target)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := objmodel.NewLocalRef(target, entry.OID)
+	if entry.Role == heap.Replica {
+		if prov := entry.Provider(); !prov.IsZero() {
+			r.SetRemote(&remoteInvoker{rt: e.rt, provider: prov})
+		}
+	}
+	return r, nil
+}
+
+// ExportObject exports a proxy-in for obj (registering it as a master if
+// needed) and returns the reference — what a site binds in the name server
+// so other sites can reach the graph's root. The returned Descriptor also
+// carries the OID and type, which the remote side needs to build its
+// proxy-out.
+func (e *Engine) ExportObject(obj any) (Descriptor, error) {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		var err error
+		entry, err = e.heap.AddMaster(obj)
+		if err != nil {
+			return Descriptor{}, err
+		}
+	}
+	ref, err := e.exportProxyIn(entry)
+	if err != nil {
+		return Descriptor{}, err
+	}
+	return Descriptor{Provider: ref, OID: uint64(entry.OID), TypeName: entry.TypeName}, nil
+}
+
+// Descriptor identifies a remotely reachable object: the proxy-in to demand
+// it from plus its identity. This is what name servers store.
+type Descriptor struct {
+	Provider rmi.RemoteRef
+	OID      uint64
+	TypeName string
+}
+
+func init() {
+	codec.MustRegister("obiwan.repl.Descriptor", Descriptor{})
+}
+
+// RefFromDescriptor builds an unresolved Ref from a descriptor obtained out
+// of band (typically a name server). Invoking it raises an object fault;
+// spec controls how much each fault replicates.
+func (e *Engine) RefFromDescriptor(d Descriptor, spec GetSpec) *objmodel.Ref {
+	pout := e.newProxyOut(objmodel.OID(d.OID), d.Provider, spec.normalize())
+	return objmodel.NewFaultingRef(objmodel.OID(d.OID), pout, pout)
+}
+
+// exportProxyIn exports (or reuses) the proxy-in serving entry's object.
+func (e *Engine) exportProxyIn(entry *heap.Entry) (rmi.RemoteRef, error) {
+	e.mu.Lock()
+	if ref, ok := e.proxyIns[entry.OID]; ok {
+		e.mu.Unlock()
+		e.gc.ProxyInReused()
+		return ref, nil
+	}
+	e.mu.Unlock()
+
+	pin := &ProxyIn{eng: e, entry: entry}
+	ref, err := e.rt.Export(pin, "obiwan.IProvideRemote")
+	if err != nil {
+		return rmi.RemoteRef{}, fmt.Errorf("replication: export proxy-in for %v: %w", entry.OID, err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.proxyIns[entry.OID]; ok {
+		// Lost a race; keep the winner and withdraw ours.
+		e.rt.Unexport(ref.ID)
+		e.gc.ProxyInReused()
+		return existing, nil
+	}
+	e.proxyIns[entry.OID] = ref
+	e.gc.ProxyInExported()
+	return ref, nil
+}
+
+// captureEntry serializes an entry's state under its state lock.
+func (e *Engine) captureEntry(entry *heap.Entry) ([]byte, error) {
+	entry.LockState()
+	defer entry.UnlockState()
+	return objmodel.CaptureState(e.reg, entry.Obj)
+}
+
+// restoreEntry restores an entry's state and rebinds its references under
+// its state lock.
+func (e *Engine) restoreEntry(entry *heap.Entry, state []byte, frontier map[objmodel.OID]FrontierRef, spec GetSpec) error {
+	entry.LockState()
+	defer entry.UnlockState()
+	if err := objmodel.RestoreState(e.reg, entry.Obj, state); err != nil {
+		return err
+	}
+	return e.bindRefs(entry.Obj, frontier, spec)
+}
+
+// assemble builds the payload for a demand on root with spec. It runs at
+// the master (or any site holding the object — replicas can serve onward
+// replication the same way).
+func (e *Engine) assemble(root *heap.Entry, spec GetSpec, requester string) (*Payload, error) {
+	spec = spec.normalize()
+	limit := heap.TraverseLimit{MaxDepth: spec.Depth}
+	if spec.Mode == Incremental {
+		limit.MaxObjects = spec.Batch
+	}
+	entries, err := e.heap.Traverse(root.Obj, limit)
+	if err != nil {
+		return nil, err
+	}
+	included := make(map[objmodel.OID]bool, len(entries))
+	for _, en := range entries {
+		included[en.OID] = true
+	}
+
+	p := &Payload{
+		RootOID:   uint64(root.OID),
+		Objects:   make([]ObjectRecord, 0, len(entries)),
+		Clustered: spec.Clustered,
+		Spec:      spec,
+	}
+	if spec.Clustered {
+		ref, err := e.exportProxyIn(root)
+		if err != nil {
+			return nil, err
+		}
+		p.ClusterProvider = ref
+	}
+
+	frontierSeen := make(map[objmodel.OID]bool)
+	for _, en := range entries {
+		state, err := e.captureEntry(en)
+		if err != nil {
+			return nil, err
+		}
+		rec := ObjectRecord{
+			OID:      uint64(en.OID),
+			TypeName: en.TypeName,
+			Version:  en.Version(),
+			State:    state,
+		}
+		if !spec.Clustered {
+			// Figure-5 regime: every shipped object gets its own proxy
+			// pair so it stays individually updatable.
+			prov, err := e.exportProxyIn(en)
+			if err != nil {
+				return nil, err
+			}
+			rec.Provider = prov
+		}
+		p.Objects = append(p.Objects, rec)
+
+		// Frontier: references leaving the shipped set. The ref list is
+		// read under the state lock; descriptors are built after.
+		en.LockState()
+		refs := objmodel.RefsOf(en.Obj)
+		en.UnlockState()
+		for _, ref := range refs {
+			toid := ref.OID()
+			if toid == 0 || included[toid] || frontierSeen[toid] {
+				continue
+			}
+			fr, err := e.frontierFor(ref)
+			if err != nil {
+				return nil, err
+			}
+			frontierSeen[toid] = true
+			p.Frontier = append(p.Frontier, fr)
+		}
+		e.getPolicy().ReplicaCreated(en.OID, requester, rec.Version)
+	}
+	e.emit(Event{
+		Kind: EventPayloadAssembled, OID: root.OID, Objects: len(p.Objects),
+		Frontier: len(p.Frontier), Clustered: p.Clustered, Requester: requester,
+	})
+	return p, nil
+}
+
+// frontierFor builds the frontier descriptor for one outgoing reference.
+func (e *Engine) frontierFor(ref *objmodel.Ref) (FrontierRef, error) {
+	toid := ref.OID()
+	if ref.IsResolved() {
+		target, err := ref.Resolve()
+		if err != nil {
+			return FrontierRef{}, err
+		}
+		te, ok := e.heap.EntryOf(target)
+		if !ok {
+			return FrontierRef{}, fmt.Errorf("replication: ref target %v not in heap", toid)
+		}
+		// A local master (or individually-provided replica) can be demanded
+		// from this site directly.
+		if te.Role == heap.Master || !te.Provider().IsZero() {
+			if te.Role == heap.Master {
+				prov, err := e.exportProxyIn(te)
+				if err != nil {
+					return FrontierRef{}, err
+				}
+				return FrontierRef{OID: uint64(toid), Provider: prov, TypeName: te.TypeName}, nil
+			}
+			return FrontierRef{OID: uint64(toid), Provider: te.Provider(), TypeName: te.TypeName}, nil
+		}
+		return FrontierRef{}, fmt.Errorf("replication: no route to %v", toid)
+	}
+	// The reference is itself proxied here: forward the upstream provider
+	// (third-site chains).
+	if pout, ok := ref.Faulter().(*ProxyOut); ok {
+		return FrontierRef{OID: uint64(toid), Provider: pout.provider}, nil
+	}
+	return FrontierRef{}, fmt.Errorf("replication: unresolved ref %v has no proxy-out", toid)
+}
+
+// materialize installs a payload into the local heap: replicas are created
+// or refreshed, references bound, frontier proxy-outs created. It returns
+// the root object.
+func (e *Engine) materialize(p *Payload) (any, error) {
+	frontier := make(map[objmodel.OID]FrontierRef, len(p.Frontier))
+	for _, fr := range p.Frontier {
+		frontier[objmodel.OID(fr.OID)] = fr
+	}
+
+	now := time.Now()
+	touched := make([]any, 0, len(p.Objects))
+	var memberOIDs []objmodel.OID
+
+	// Pass 1: instantiate or refresh every shipped object, so that pass 2
+	// can bind intra-payload references to live instances.
+	for _, rec := range p.Objects {
+		oid := objmodel.OID(rec.OID)
+		if p.Clustered {
+			memberOIDs = append(memberOIDs, oid)
+		}
+		if existing, ok := e.heap.Get(oid); ok {
+			// Identity dedupe: refresh the existing copy in place unless it
+			// is this site's own master (state bounced back — keep ours).
+			if existing.Role == heap.Master {
+				continue
+			}
+			existing.LockState()
+			err := objmodel.RestoreState(e.reg, existing.Obj, rec.State)
+			existing.UnlockState()
+			if err != nil {
+				return nil, err
+			}
+			existing.SetVersion(rec.Version)
+			existing.Touch(now)
+			existing.SetDirty(false)
+			touched = append(touched, existing.Obj)
+			continue
+		}
+		info, ok := objmodel.InfoByName(rec.TypeName)
+		if !ok {
+			return nil, fmt.Errorf("replication: unknown type %q in payload", rec.TypeName)
+		}
+		obj := info.New()
+		if err := objmodel.RestoreState(e.reg, obj, rec.State); err != nil {
+			return nil, err
+		}
+		entry, fresh := e.heap.AddReplica(obj, oid, rec.TypeName, rec.Version)
+		if !fresh {
+			// Raced with another materialization; refresh the winner.
+			if err := objmodel.RestoreState(e.reg, entry.Obj, rec.State); err != nil {
+				return nil, err
+			}
+			entry.SetVersion(rec.Version)
+		}
+		if p.Clustered {
+			entry.SetProvider(p.ClusterProvider, objmodel.OID(p.RootOID))
+		} else {
+			entry.SetProvider(rec.Provider, 0)
+		}
+		entry.Touch(now)
+		touched = append(touched, entry.Obj)
+	}
+
+	if p.Clustered && len(memberOIDs) > 0 {
+		rootOID := objmodel.OID(p.RootOID)
+		e.mu.Lock()
+		e.clusters[rootOID] = memberOIDs
+		for _, m := range memberOIDs {
+			e.inCluster[m] = rootOID
+		}
+		e.mu.Unlock()
+	}
+
+	// Pass 2: bind references, each object under its state lock (a replica
+	// may concurrently serve captures for onward replication).
+	for _, obj := range touched {
+		entry, ok := e.heap.EntryOf(obj)
+		if !ok {
+			return nil, fmt.Errorf("replication: touched object %T lost its entry", obj)
+		}
+		entry.LockState()
+		err := e.bindRefs(obj, frontier, p.Spec)
+		entry.UnlockState()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rootEntry, ok := e.heap.Get(objmodel.OID(p.RootOID))
+	if !ok {
+		return nil, fmt.Errorf("replication: payload root %d missing after materialization", p.RootOID)
+	}
+	e.emit(Event{
+		Kind: EventPayloadMaterialized, OID: rootEntry.OID,
+		Objects: len(p.Objects), Frontier: len(p.Frontier), Clustered: p.Clustered,
+	})
+	return rootEntry.Obj, nil
+}
+
+// bindRefs binds every unresolved reference of obj: to a local object when
+// the target is here, otherwise to a frontier proxy-out.
+func (e *Engine) bindRefs(obj any, frontier map[objmodel.OID]FrontierRef, spec GetSpec) error {
+	for _, ref := range objmodel.RefsOf(obj) {
+		if ref.IsResolved() {
+			continue
+		}
+		toid := ref.OID()
+		if toid == 0 {
+			return objmodel.ErrUnboundRef
+		}
+		if te, ok := e.heap.Get(toid); ok {
+			ref.BindLocal(te.Obj, toid)
+			if prov := te.Provider(); !prov.IsZero() {
+				ref.SetRemote(&remoteInvoker{rt: e.rt, provider: prov})
+			}
+			continue
+		}
+		fr, ok := frontier[toid]
+		if !ok {
+			return fmt.Errorf("replication: reference to %v has no frontier descriptor", toid)
+		}
+		pout := e.newProxyOut(toid, fr.Provider, spec)
+		ref.BindFault(toid, pout, pout)
+	}
+	return nil
+}
+
+// Replicate demands ref's target explicitly with spec, overriding the
+// ref's inherited replication parameters — the paper's programmatic
+// get(mode). It is a no-op on already-resolved refs.
+func (e *Engine) Replicate(ref *objmodel.Ref, spec GetSpec) (any, error) {
+	if ref.IsResolved() {
+		return ref.Resolve()
+	}
+	pout, ok := ref.Faulter().(*ProxyOut)
+	if !ok {
+		return nil, objmodel.ErrUnboundRef
+	}
+	local, remote, err := pout.demand(spec.normalize())
+	if err != nil {
+		return nil, err
+	}
+	ref.BindLocal(local, ref.OID())
+	if remote != nil {
+		ref.SetRemote(remote)
+	}
+	e.gc.ProxyOutReclaimed()
+	return local, nil
+}
+
+// Put ships a replica's state back to its master — the paper's put. The
+// replica must have arrived outside a cluster (ErrClusterMember otherwise).
+func (e *Engine) Put(obj any) error {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		return heap.ErrUnknownObject
+	}
+	if entry.Role != heap.Replica {
+		return ErrNotReplica
+	}
+	if entry.ClusterMember() {
+		return ErrClusterMember
+	}
+	prov := entry.Provider()
+	if prov.IsZero() {
+		return ErrNoProvider
+	}
+	req, err := e.buildPutRequest(entry)
+	if err != nil {
+		return err
+	}
+	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Put", req)
+	if err != nil {
+		return fmt.Errorf("replication: put %v: %w", entry.OID, err)
+	}
+	reply, ok := res[0].(*PutReply)
+	if !ok {
+		return fmt.Errorf("replication: put %v: unexpected reply %T", entry.OID, res[0])
+	}
+	entry.SetVersion(reply.NewVersion)
+	entry.SetDirty(false)
+	e.emit(Event{Kind: EventPutShipped, OID: entry.OID, Version: reply.NewVersion})
+	return nil
+}
+
+// PutCluster ships the whole cluster containing obj back to the master as
+// one unit.
+func (e *Engine) PutCluster(obj any) error {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		return heap.ErrUnknownObject
+	}
+	if !entry.ClusterMember() {
+		return e.Put(obj)
+	}
+	root := entry.ClusterRoot()
+	e.mu.Lock()
+	members := append([]objmodel.OID(nil), e.clusters[root]...)
+	e.mu.Unlock()
+	if len(members) == 0 {
+		return fmt.Errorf("replication: cluster %v has no recorded members", root)
+	}
+	creq := &ClusterPutRequest{Members: make([]PutRequest, 0, len(members))}
+	for _, m := range members {
+		me, ok := e.heap.Get(m)
+		if !ok {
+			return fmt.Errorf("replication: cluster member %v evicted", m)
+		}
+		req, err := e.buildPutRequest(me)
+		if err != nil {
+			return err
+		}
+		creq.Members = append(creq.Members, *req)
+	}
+	prov := entry.Provider()
+	if prov.IsZero() {
+		return ErrNoProvider
+	}
+	res, err := e.rt.CallTimeout(prov, BulkTimeout, "PutCluster", creq)
+	if err != nil {
+		return fmt.Errorf("replication: put cluster %v: %w", root, err)
+	}
+	versions, ok := res[0].([]any)
+	if !ok || len(versions) != len(members) {
+		return fmt.Errorf("replication: put cluster %v: unexpected reply %#v", root, res[0])
+	}
+	for i, m := range members {
+		if me, ok := e.heap.Get(m); ok {
+			if v, ok := versions[i].(uint64); ok {
+				me.SetVersion(v)
+			}
+			me.SetDirty(false)
+		}
+	}
+	return nil
+}
+
+// buildPutRequest captures a replica's state plus the frontier entries the
+// master needs to rebind references it may not know.
+func (e *Engine) buildPutRequest(entry *heap.Entry) (*PutRequest, error) {
+	state, err := e.captureEntry(entry)
+	if err != nil {
+		return nil, err
+	}
+	req := &PutRequest{
+		OID:         uint64(entry.OID),
+		BaseVersion: entry.Version(),
+		State:       state,
+	}
+	seen := make(map[objmodel.OID]bool)
+	entry.LockState()
+	refs := objmodel.RefsOf(entry.Obj)
+	entry.UnlockState()
+	for _, ref := range refs {
+		toid := ref.OID()
+		if toid == 0 || seen[toid] {
+			continue
+		}
+		seen[toid] = true
+		fr, err := e.frontierFor(ref)
+		if err != nil {
+			return nil, err
+		}
+		req.Frontier = append(req.Frontier, fr)
+	}
+	return req, nil
+}
+
+// applyPut applies an inbound update at the master (called by ProxyIn).
+func (e *Engine) applyPut(req *PutRequest) (*PutReply, error) {
+	entry, ok := e.heap.Get(objmodel.OID(req.OID))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", heap.ErrUnknownObject, req.OID)
+	}
+	if err := e.getPolicy().ApplyPut(entry.OID, entry.Version(), req.BaseVersion); err != nil {
+		return nil, err
+	}
+	frontier := make(map[objmodel.OID]FrontierRef, len(req.Frontier))
+	for _, fr := range req.Frontier {
+		frontier[objmodel.OID(fr.OID)] = fr
+	}
+	if err := e.restoreEntry(entry, req.State, frontier, DefaultSpec); err != nil {
+		return nil, err
+	}
+	v := entry.BumpVersion()
+	e.getPolicy().MasterUpdated(entry.OID, v)
+	e.emit(Event{Kind: EventPutApplied, OID: entry.OID, Version: v})
+	return &PutReply{NewVersion: v}, nil
+}
+
+// Refresh re-fetches a replica's state from its master (the get-refresh
+// path of §2.2 step 3). Cluster members refresh their whole cluster.
+func (e *Engine) Refresh(obj any) error {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		return heap.ErrUnknownObject
+	}
+	if entry.Role != heap.Replica {
+		return ErrNotReplica
+	}
+	prov := entry.Provider()
+	if prov.IsZero() {
+		return ErrNoProvider
+	}
+	spec := GetSpec{Mode: Incremental, Batch: 1}
+	if entry.ClusterMember() {
+		e.mu.Lock()
+		spec = GetSpec{Mode: Incremental, Batch: len(e.clusters[entry.ClusterRoot()]), Clustered: true}
+		e.mu.Unlock()
+	}
+	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
+	if err != nil {
+		return fmt.Errorf("replication: refresh %v: %w", entry.OID, err)
+	}
+	payload, ok := res[0].(*Payload)
+	if !ok {
+		return fmt.Errorf("replication: refresh %v: unexpected reply %T", entry.OID, res[0])
+	}
+	if _, err := e.materialize(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MarkUpdated records a state change. On masters it bumps the version and
+// fires the MasterUpdated hook (driving invalidation-based consistency); on
+// replicas it sets the dirty flag for the transaction layer.
+func (e *Engine) MarkUpdated(obj any) error {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		return heap.ErrUnknownObject
+	}
+	if entry.Role == heap.Master {
+		v := entry.BumpVersion()
+		e.getPolicy().MasterUpdated(entry.OID, v)
+		return nil
+	}
+	entry.SetDirty(true)
+	return nil
+}
+
+// getPolicy returns the current consistency policy.
+func (e *Engine) getPolicy() Policy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policy
+}
+
+// ForgetCluster drops the client-side membership bookkeeping of the
+// cluster rooted at root (after its replicas were evicted). Idempotent.
+func (e *Engine) ForgetCluster(root objmodel.OID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.clusters[root] {
+		delete(e.inCluster, m)
+	}
+	delete(e.clusters, root)
+}
+
+// BindLocalRefs binds every unresolved reference of obj against the local
+// heap only (no frontier). It is used when state is restored from a local
+// snapshot — e.g. a transaction rollback — where every referenced object is
+// already present.
+func (e *Engine) BindLocalRefs(obj any) error {
+	return e.bindRefs(obj, nil, DefaultSpec)
+}
+
+// CaptureSnapshot serializes obj's current state (for transaction
+// pre-images and checkpoints), holding the heap entry's state lock if obj
+// is heap-managed.
+func (e *Engine) CaptureSnapshot(obj any) ([]byte, error) {
+	if entry, ok := e.heap.EntryOf(obj); ok {
+		return e.captureEntry(entry)
+	}
+	return objmodel.CaptureState(e.reg, obj)
+}
+
+// RestoreSnapshot restores obj from a snapshot taken with CaptureSnapshot
+// and rebinds its references locally.
+func (e *Engine) RestoreSnapshot(obj any, state []byte) error {
+	if entry, ok := e.heap.EntryOf(obj); ok {
+		return e.restoreEntry(entry, state, nil, DefaultSpec)
+	}
+	if err := objmodel.RestoreState(e.reg, obj, state); err != nil {
+		return err
+	}
+	return e.BindLocalRefs(obj)
+}
+
+// BuildFrontier returns the frontier descriptors for every reference obj
+// currently holds — what a peer site needs to rebind those references
+// after restoring obj's state (used by update dissemination).
+func (e *Engine) BuildFrontier(obj any) ([]FrontierRef, error) {
+	var out []FrontierRef
+	refs := objmodel.RefsOf(obj)
+	if entry, ok := e.heap.EntryOf(obj); ok {
+		entry.LockState()
+		refs = objmodel.RefsOf(obj)
+		entry.UnlockState()
+	}
+	seen := make(map[objmodel.OID]bool)
+	for _, ref := range refs {
+		toid := ref.OID()
+		if toid == 0 || seen[toid] {
+			continue
+		}
+		seen[toid] = true
+		fr, err := e.frontierFor(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// RestoreWithFrontier restores obj from state and rebinds its references:
+// locally where the targets exist, through fresh proxy-outs built from the
+// frontier otherwise.
+func (e *Engine) RestoreWithFrontier(obj any, state []byte, frontier []FrontierRef) error {
+	fmap := make(map[objmodel.OID]FrontierRef, len(frontier))
+	for _, fr := range frontier {
+		fmap[objmodel.OID(fr.OID)] = fr
+	}
+	if entry, ok := e.heap.EntryOf(obj); ok {
+		return e.restoreEntry(entry, state, fmap, DefaultSpec)
+	}
+	if err := objmodel.RestoreState(e.reg, obj, state); err != nil {
+		return err
+	}
+	return e.bindRefs(obj, fmap, DefaultSpec)
+}

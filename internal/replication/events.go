@@ -1,0 +1,95 @@
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"obiwan/internal/objmodel"
+)
+
+// EventKind identifies a protocol step in the replication trace.
+type EventKind uint8
+
+const (
+	// EventFaultResolved: an object fault completed at this site.
+	EventFaultResolved EventKind = iota + 1
+	// EventPayloadAssembled: this site (as master/provider) built a
+	// replica payload.
+	EventPayloadAssembled
+	// EventPayloadMaterialized: this site installed a replica payload.
+	EventPayloadMaterialized
+	// EventPutApplied: this site (as master) applied an inbound update.
+	EventPutApplied
+	// EventPutShipped: this site (as replica holder) shipped an update.
+	EventPutShipped
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventFaultResolved:
+		return "fault-resolved"
+	case EventPayloadAssembled:
+		return "payload-assembled"
+	case EventPayloadMaterialized:
+		return "payload-materialized"
+	case EventPutApplied:
+		return "put-applied"
+	case EventPutShipped:
+		return "put-shipped"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one step in the replication protocol trace. Fields are filled
+// per kind; zero values mean "not applicable".
+type Event struct {
+	Kind EventKind
+	// OID is the subject object (fault target, payload root, put target).
+	OID objmodel.OID
+	// Objects counts the objects in a payload.
+	Objects int
+	// Frontier counts the frontier descriptors in a payload.
+	Frontier int
+	// Clustered marks clustered payloads.
+	Clustered bool
+	// FromHeap marks faults served locally without a remote demand.
+	FromHeap bool
+	// Elapsed is the wall time of the step, where measured.
+	Elapsed time.Duration
+	// Requester is the demanding site for assembled payloads.
+	Requester string
+	// Version is the resulting version for put events.
+	Version uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s oid=%v objects=%d frontier=%d clustered=%v fromHeap=%v v=%d %v",
+		e.Kind, e.OID, e.Objects, e.Frontier, e.Clustered, e.FromHeap, e.Version, e.Elapsed.Round(time.Microsecond))
+}
+
+// EventObserver receives protocol events. It is called synchronously on
+// the protocol path: keep it fast, hand off anything heavy.
+type EventObserver func(Event)
+
+// WithEventObserver installs a protocol trace observer on the engine.
+func WithEventObserver(fn EventObserver) Option {
+	return func(e *Engine) { e.observer = fn }
+}
+
+// SetEventObserver installs (or clears, with nil) the observer at run time.
+func (e *Engine) SetEventObserver(fn EventObserver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = fn
+}
+
+// emit delivers an event to the observer, if any.
+func (e *Engine) emit(ev Event) {
+	e.mu.Lock()
+	fn := e.observer
+	e.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}

@@ -1,0 +1,132 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/transport"
+)
+
+func TestPrefetchResolvesFrontier(t *testing.T) {
+	master, client := twoSites(t)
+	docs := buildChain(t, master, 10, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 2})
+
+	pf := NewPrefetcher(client.engine)
+	defer pf.Close()
+	pf.Prefetch(ref, 0)
+	pf.Wait()
+
+	if client.heap.Len() != 10 {
+		t.Fatalf("prefetched heap: %d, want 10", client.heap.Len())
+	}
+	resolved, failed := pf.Stats()
+	if failed != 0 {
+		t.Fatalf("failed walks: %d", failed)
+	}
+	if resolved == 0 {
+		t.Fatal("nothing prefetched")
+	}
+	// The application's subsequent walk is now fully local.
+	calls := client.rt.Stats().CallsSent
+	cur := ref
+	for i := 0; i < 10; i++ {
+		d, err := objmodel.Deref[*doc](cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = d.Next
+	}
+	if after := client.rt.Stats().CallsSent; after != calls {
+		t.Fatalf("walk after prefetch issued %d RMI calls", after-calls)
+	}
+}
+
+func TestPrefetchBudget(t *testing.T) {
+	master, client := twoSites(t)
+	docs := buildChain(t, master, 10, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 1})
+
+	pf := NewPrefetcher(client.engine)
+	defer pf.Close()
+	pf.Prefetch(ref, 3)
+	pf.Wait()
+
+	if got := client.heap.Len(); got != 3 {
+		t.Fatalf("budgeted prefetch brought %d objects, want 3", got)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	// With a slow link, prefetching while the application "thinks" must
+	// reduce the walk's foreground faults.
+	net := transport.NewMemNetwork(netsim.Profile{
+		Name: "slowish", Latency: 5 * time.Millisecond,
+	})
+	master := newTestSite(t, net, "s2", 2)
+	client := newTestSite(t, net, "s1", 1)
+	docs := buildChain(t, master, 6, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 1})
+
+	pf := NewPrefetcher(client.engine)
+	defer pf.Close()
+	pf.Prefetch(ref, 0)
+	pf.Wait()
+
+	start := time.Now()
+	cur := ref
+	for i := 0; i < 6; i++ {
+		if _, err := cur.Invoke("Title"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := objmodel.Deref[*doc](cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = d.Next
+	}
+	if walk := time.Since(start); walk > 5*time.Millisecond {
+		t.Fatalf("post-prefetch walk took %v; latency not hidden", walk)
+	}
+}
+
+func TestPrefetchStopsOnDisconnect(t *testing.T) {
+	net := transport.NewMemNetwork(netsim.Loopback)
+	master := newTestSite(t, net, "s2", 2)
+	client := newTestSite(t, net, "s1", 1)
+	docs := buildChain(t, master, 10, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 1})
+
+	net.Disconnect("s1", "s2")
+	pf := NewPrefetcher(client.engine)
+	defer pf.Close()
+	pf.Prefetch(ref, 0)
+	pf.Wait()
+	if _, failed := pf.Stats(); failed != 1 {
+		t.Fatalf("failed walks: %d, want 1", failed)
+	}
+	if client.heap.Len() != 0 {
+		t.Fatal("nothing should have been fetched")
+	}
+	// The ref still works once the link returns — prefetch failure is
+	// invisible to the application.
+	net.Reconnect("s1", "s2")
+	if _, err := ref.Invoke("Title"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchAfterClose(t *testing.T) {
+	master, client := twoSites(t)
+	docs := buildChain(t, master, 3, 8)
+	ref := exportHead(t, master, client, docs[0], DefaultSpec)
+	pf := NewPrefetcher(client.engine)
+	pf.Close()
+	pf.Prefetch(ref, 0) // no-op, no panic, no goroutine leak
+	pf.Wait()
+	if client.heap.Len() != 0 {
+		t.Fatal("closed prefetcher must not fetch")
+	}
+}

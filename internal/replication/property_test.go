@@ -1,0 +1,176 @@
+package replication
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"obiwan/internal/objmodel"
+)
+
+// gnode is a general graph node for the property tests.
+type gnode struct {
+	Label string
+	Data  []byte
+	Kids  []*objmodel.Ref
+}
+
+func (g *gnode) Name() string { return g.Label }
+
+func init() {
+	objmodel.MustRegisterType("repl_test.gnode", (*gnode)(nil))
+}
+
+// buildRandomGraph creates a random connected digraph of n nodes at the
+// master: node i gets edges to random nodes (possibly forming cycles,
+// diamonds, self-loops), with node 0 reaching everything through a
+// spanning chain.
+func buildRandomGraph(t *testing.T, s *testSite, rng *rand.Rand, n int) []*gnode {
+	t.Helper()
+	nodes := make([]*gnode, n)
+	for i := range nodes {
+		nodes[i] = &gnode{
+			Label: fmt.Sprintf("g%d", i),
+			Data:  make([]byte, rng.Intn(64)),
+		}
+		rng.Read(nodes[i].Data)
+		if _, err := s.engine.RegisterMaster(nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addEdge := func(from, to int) {
+		ref, err := s.engine.NewRef(nodes[to])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[from].Kids = append(nodes[from].Kids, ref)
+	}
+	// Spanning chain guarantees reachability from node 0.
+	for i := 0; i < n-1; i++ {
+		addEdge(i, i+1)
+	}
+	// Random extra edges: back, forward, self.
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return nodes
+}
+
+// isomorphic checks that the replica graph rooted at rr mirrors the master
+// graph rooted at mr: same labels, same payloads, same edge structure,
+// with replica identity consistent (one replica per master node).
+func isomorphic(mr *gnode, rr *gnode) error {
+	mapping := map[*gnode]*gnode{} // master → replica
+	var walk func(m, r *gnode) error
+	walk = func(m, r *gnode) error {
+		if prev, seen := mapping[m]; seen {
+			if prev != r {
+				return fmt.Errorf("node %s mapped to two replicas", m.Label)
+			}
+			return nil
+		}
+		mapping[m] = r
+		if m.Label != r.Label {
+			return fmt.Errorf("label %q vs %q", m.Label, r.Label)
+		}
+		if string(m.Data) != string(r.Data) {
+			return fmt.Errorf("node %s payload mismatch", m.Label)
+		}
+		if len(m.Kids) != len(r.Kids) {
+			return fmt.Errorf("node %s has %d vs %d edges", m.Label, len(m.Kids), len(r.Kids))
+		}
+		for i := range m.Kids {
+			mk, err := objmodel.Deref[*gnode](m.Kids[i])
+			if err != nil {
+				return fmt.Errorf("master deref %s[%d]: %w", m.Label, i, err)
+			}
+			rk, err := objmodel.Deref[*gnode](r.Kids[i])
+			if err != nil {
+				return fmt.Errorf("replica deref %s[%d]: %w", m.Label, i, err)
+			}
+			if err := walk(mk, rk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(mr, rr)
+}
+
+// TestQuickTransitiveReplicationIsomorphic: for random graphs, transitive
+// replication yields a structurally identical graph at the client, with
+// one replica per master object (sharing and cycles preserved).
+func TestQuickTransitiveReplicationIsomorphic(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%20) + 2
+		master, client := twoSites(t)
+		nodes := buildRandomGraph(t, master, rng, n)
+
+		desc, err := master.engine.ExportObject(nodes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cref := client.engine.RefFromDescriptor(desc, GetSpec{Mode: Transitive})
+		root, err := objmodel.Deref[*gnode](cref)
+		if err != nil {
+			t.Logf("replicate: %v", err)
+			return false
+		}
+		if client.heap.Len() != n {
+			t.Logf("heap %d want %d", client.heap.Len(), n)
+			return false
+		}
+		if err := isomorphic(nodes[0], root); err != nil {
+			t.Logf("isomorphism: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIncrementalWalkEqualsTransitive: walking the same random graph
+// with one-at-a-time faults ends in the same structure as a single
+// transitive get.
+func TestQuickIncrementalWalkEqualsTransitive(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%12) + 2
+		master, client := twoSites(t)
+		nodes := buildRandomGraph(t, master, rng, n)
+		desc, err := master.engine.ExportObject(nodes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cref := client.engine.RefFromDescriptor(desc, GetSpec{Mode: Incremental, Batch: 1})
+		root, err := objmodel.Deref[*gnode](cref)
+		if err != nil {
+			return false
+		}
+		// Drive every fault by BFS over the replica graph.
+		if err := isomorphic(nodes[0], root); err != nil {
+			t.Logf("isomorphism after incremental walk: %v", err)
+			return false
+		}
+		if client.heap.Len() != n {
+			t.Logf("heap %d want %d", client.heap.Len(), n)
+			return false
+		}
+		// Every proxy-out created during the walk was reclaimed or served
+		// from the heap; none leak.
+		gc := client.engine.GC().Snapshot()
+		if gc.LiveProxyOuts() != 0 {
+			t.Logf("leaked proxy-outs: %d", gc.LiveProxyOuts())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

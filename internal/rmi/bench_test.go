@@ -1,0 +1,98 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/transport"
+)
+
+// benchPair builds two connected runtimes over a zero-latency link, so
+// the numbers measure the RMI machinery itself (marshalling, dispatch,
+// multiplexing) rather than simulated propagation.
+func benchPair(b *testing.B) (*Runtime, *Runtime) {
+	b.Helper()
+	net := transport.NewMemNetwork(netsim.Profile{Name: "zero"})
+	server, err := NewRuntime(net, "server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := NewRuntime(net, "client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+	})
+	return server, client
+}
+
+func BenchmarkCallNull(b *testing.B) {
+	server, client := benchPair(b)
+	ref, err := server.Export(&calculator{}, "Calculator")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Call(ref, "Total"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ref, "Total"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallWithBytes(b *testing.B) {
+	server, client := benchPair(b)
+	ref, err := server.Export(&calculator{}, "Calculator")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 4096, 65536} {
+		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			b.SetBytes(int64(size) * 2) // echoed both ways
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Call(ref, "Echo", "k", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCallConcurrent(b *testing.B) {
+	server, client := benchPair(b)
+	ref, err := server.Export(&calculator{}, "Calculator")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Call(ref, "Total"); err != nil {
+		b.Fatal(err)
+	}
+	const workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := client.Call(ref, "Total"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

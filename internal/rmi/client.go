@@ -1,0 +1,251 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"obiwan/internal/transport"
+	"obiwan/internal/wire"
+)
+
+// clientConn is one multiplexed outbound connection: many in-flight calls
+// share it, matched to replies by call id.
+type clientConn struct {
+	rt   *Runtime
+	addr transport.Addr
+	conn transport.Conn
+
+	sendMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan any // call id → *wire.Reply or *wire.Fault or error
+	dead    error               // non-nil once the connection failed
+}
+
+// getConn returns a live connection to addr, dialing if needed.
+func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
+	rt.mu.Lock()
+	select {
+	case <-rt.closed:
+		rt.mu.Unlock()
+		return nil, ErrRuntimeClosed
+	default:
+	}
+	if c, ok := rt.conns[addr]; ok {
+		rt.mu.Unlock()
+		return c, nil
+	}
+	rt.mu.Unlock()
+
+	// Dial outside the lock: the simulated network may sleep.
+	conn, err := rt.network.Dial(rt.local, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: dial %q: %w", addr, err)
+	}
+
+	rt.mu.Lock()
+	if existing, ok := rt.conns[addr]; ok {
+		// Lost the race; use the winner.
+		rt.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	c := &clientConn{
+		rt:      rt,
+		addr:    addr,
+		conn:    conn,
+		pending: make(map[uint64]chan any),
+	}
+	rt.conns[addr] = c
+	rt.mu.Unlock()
+
+	// Open with the protocol preamble so the server can reject version
+	// mismatches before any call frame is interpreted.
+	if err := conn.Send(wire.EncodeHello()); err != nil {
+		c.shutdown(fmt.Errorf("rmi: hello to %q: %w", addr, err))
+		return nil, fmt.Errorf("rmi: hello to %q: %w", addr, err)
+	}
+
+	rt.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// dropConn removes c from the pool if it is still the registered conn.
+func (rt *Runtime) dropConn(c *clientConn) {
+	rt.mu.Lock()
+	if rt.conns[c.addr] == c {
+		delete(rt.conns, c.addr)
+	}
+	rt.mu.Unlock()
+}
+
+// readLoop demultiplexes replies to waiting callers until the connection
+// dies, then fails everything still pending.
+func (c *clientConn) readLoop() {
+	defer c.rt.wg.Done()
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			c.shutdown(fmt.Errorf("rmi: connection to %q lost: %w", c.addr, err))
+			return
+		}
+		c.rt.stats.bytesRecv.Add(uint64(len(frame)))
+		msg, err := wire.Decode(c.rt.reg, frame)
+		if err != nil {
+			c.shutdown(fmt.Errorf("rmi: bad frame from %q: %w", c.addr, err))
+			return
+		}
+		var id uint64
+		switch m := msg.(type) {
+		case *wire.Reply:
+			id = m.ID
+		case *wire.Fault:
+			id = m.ID
+		default:
+			continue // a Call frame on a client conn: ignore
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// shutdown fails all pending calls and retires the connection.
+func (c *clientConn) shutdown(cause error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = cause
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan any)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- cause
+	}
+	_ = c.conn.Close()
+	c.rt.dropConn(c)
+}
+
+// register enrolls a call id before sending, so the reply cannot race the
+// registration.
+func (c *clientConn) register(id uint64) (chan any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	ch := make(chan any, 1)
+	c.pending[id] = ch
+	return ch, nil
+}
+
+func (c *clientConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Call invokes method on the remote object behind ref and waits for its
+// results, using the runtime's default timeout.
+func (rt *Runtime) Call(ref RemoteRef, method string, args ...any) ([]any, error) {
+	return rt.CallTimeout(ref, rt.callTimeout, method, args...)
+}
+
+// CallTimeout is Call with an explicit deadline for this invocation.
+func (rt *Runtime) CallTimeout(ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
+	start := time.Now()
+	results, err := rt.doCall(ref, timeout, method, args)
+	if rt.observer != nil {
+		rt.observer(ref.Addr, method, time.Since(start), err)
+	}
+	return results, err
+}
+
+func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, error) {
+	if ref.IsZero() {
+		return nil, fmt.Errorf("rmi: call %s on zero reference", method)
+	}
+	rt.mu.Lock()
+	rt.nextSeq++
+	id := rt.nextSeq
+	rt.mu.Unlock()
+
+	frame, err := wire.EncodeCall(rt.reg, &wire.Call{
+		ID: id, Target: uint64(ref.ID), Method: method, Args: args,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		conn *clientConn
+		ch   chan any
+	)
+	// A pooled connection may be dead (server restarted) before its read
+	// loop notices; one fresh dial is attempted in that case.
+	for attempt := 0; ; attempt++ {
+		conn, err = rt.getConn(ref.Addr)
+		if err != nil {
+			rt.stats.sendErrors.Add(1)
+			return nil, err
+		}
+		if ch, err = conn.register(id); err != nil {
+			if attempt == 0 {
+				continue
+			}
+			rt.stats.sendErrors.Add(1)
+			return nil, err
+		}
+		conn.sendMu.Lock()
+		sendErr := conn.conn.Send(frame)
+		conn.sendMu.Unlock()
+		if sendErr == nil {
+			break
+		}
+		conn.unregister(id)
+		if errors.Is(sendErr, transport.ErrClosed) {
+			// The peer went away: retire the connection. Retry once with a
+			// fresh dial (the server may have restarted).
+			conn.shutdown(fmt.Errorf("rmi: connection to %q lost: %w", ref.Addr, sendErr))
+			if attempt == 0 {
+				continue
+			}
+		}
+		// Link-level disconnection keeps the connection pooled: the paper's
+		// mobile host expects to reuse it after reconnecting.
+		rt.stats.sendErrors.Add(1)
+		return nil, fmt.Errorf("rmi: send %s to %q: %w", method, ref.Addr, sendErr)
+	}
+	rt.stats.callsSent.Add(1)
+	rt.stats.bytesSent.Add(uint64(len(frame)))
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-ch:
+		switch m := msg.(type) {
+		case *wire.Reply:
+			return m.Results, nil
+		case *wire.Fault:
+			rt.stats.remoteFaults.Add(1)
+			return nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message}
+		case error:
+			return nil, m
+		default:
+			return nil, fmt.Errorf("rmi: unexpected response %T", msg)
+		}
+	case <-timer.C:
+		conn.unregister(id)
+		return nil, fmt.Errorf("%w: %s to %q after %v", ErrTimeout, method, ref.Addr, timeout)
+	case <-rt.closed:
+		conn.unregister(id)
+		return nil, ErrRuntimeClosed
+	}
+}

@@ -1,0 +1,54 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"obiwan/internal/invoke"
+	"obiwan/internal/wire"
+)
+
+// skeleton is the server-side dispatcher for one exported object: the Go
+// analogue of the skeleton classes Java RMI generated. Dispatch itself is
+// shared with local method invocation via package invoke.
+type skeleton struct {
+	recv    reflect.Value
+	methods map[string]reflect.Method
+}
+
+// newSkeleton builds a skeleton for obj. Objects with no exported methods
+// are rejected: they could never serve a call.
+func newSkeleton(obj any) (*skeleton, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("rmi: cannot export nil")
+	}
+	rv := reflect.ValueOf(obj)
+	methods, err := invoke.MethodTable(rv.Type())
+	if err != nil {
+		return nil, fmt.Errorf("rmi: %w", err)
+	}
+	return &skeleton{recv: rv, methods: methods}, nil
+}
+
+// invoke runs method with args and returns either result values or a wire
+// fault. A trailing error result is stripped: nil vanishes, non-nil becomes
+// a FaultApp (the remote-exception path).
+func (sk *skeleton) invoke(method string, args []any) ([]any, *wire.Fault) {
+	results, err := invoke.CallWithTable(sk.recv, sk.methods, method, args)
+	if err == nil {
+		return results, nil
+	}
+	var ie *invoke.Error
+	if errors.As(err, &ie) {
+		code := wire.FaultApp
+		switch ie.Kind {
+		case invoke.KindNoSuchMethod:
+			code = wire.FaultNoSuchMethod
+		case invoke.KindBadArgs:
+			code = wire.FaultBadArgs
+		}
+		return nil, &wire.Fault{Code: code, Message: ie.Message}
+	}
+	return nil, &wire.Fault{Code: wire.FaultApp, Message: err.Error()}
+}

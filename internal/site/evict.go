@@ -1,0 +1,119 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+
+	"obiwan/internal/heap"
+	"obiwan/internal/replication"
+)
+
+// Replica eviction serves the paper's memory-constrained info-appliances:
+// "situations in which an application does not need to invoke all objects
+// of a graph, or when the info-appliance where the application is running
+// has limited memory" (§2.1). Evicting a replica removes it from the
+// site's heap, so its memory can be reclaimed once the application drops
+// its own pointers; the object can always be demanded again through any
+// reference that still proxies it (or a fresh Lookup).
+//
+// Semantics worth being explicit about:
+//
+//   - References already spliced to the replica keep working (they hold
+//     the object directly; Go's GC keeps it alive as long as they do).
+//     Eviction removes the identity mapping, so *future* demands fetch a
+//     fresh copy instead of deduplicating onto the evicted one.
+//   - Dirty replicas are not evicted by default: their edits would be
+//     lost. Pass force=true to discard them.
+//   - Cluster members evict as a whole cluster (they share one proxy pair
+//     and one update unit).
+
+// ErrDirtyReplica is returned by Evict when the replica has unsaved local
+// modifications and force is false.
+var ErrDirtyReplica = fmt.Errorf("site: replica has unsaved modifications (sync or force)")
+
+// Evict removes a replica (or, for a cluster member, its whole cluster)
+// from the site's heap. It returns the number of objects evicted.
+func (s *Site) Evict(obj any, force bool) (int, error) {
+	entry, ok := s.heap.EntryOf(obj)
+	if !ok {
+		return 0, heap.ErrUnknownObject
+	}
+	if entry.Role != heap.Replica {
+		return 0, replication.ErrNotReplica
+	}
+	group := []*heap.Entry{entry}
+	if entry.ClusterMember() {
+		group = s.clusterEntries(entry)
+	}
+	if !force {
+		for _, e := range group {
+			if e.Dirty() {
+				return 0, fmt.Errorf("%w: %v", ErrDirtyReplica, e.OID)
+			}
+		}
+	}
+	for _, e := range group {
+		s.heap.Remove(e.OID)
+		s.stale.Clear(e.OID)
+	}
+	if entry.ClusterMember() {
+		s.engine.ForgetCluster(entry.ClusterRoot())
+	}
+	return len(group), nil
+}
+
+// clusterEntries returns the live heap entries of the cluster containing
+// member.
+func (s *Site) clusterEntries(member *heap.Entry) []*heap.Entry {
+	root := member.ClusterRoot()
+	var out []*heap.Entry
+	for _, e := range s.heap.Entries() {
+		if e.Role == heap.Replica && e.ClusterRoot() == root {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EvictColdest evicts clean, non-cluster replicas in
+// least-recently-fetched order until at most keep replicas remain (or no
+// more clean candidates exist). It returns the number evicted. This is the
+// working-set trim an info-appliance runs under memory pressure.
+func (s *Site) EvictColdest(keep int) int {
+	var replicas []*heap.Entry
+	for _, e := range s.heap.Entries() {
+		if e.Role == heap.Replica {
+			replicas = append(replicas, e)
+		}
+	}
+	if len(replicas) <= keep {
+		return 0
+	}
+	sort.Slice(replicas, func(i, j int) bool {
+		return replicas[i].FetchedAt().Before(replicas[j].FetchedAt())
+	})
+	evicted := 0
+	for _, e := range replicas {
+		if len(replicas)-evicted <= keep {
+			break
+		}
+		if e.Dirty() || e.ClusterMember() {
+			continue // never silently drop edits or split clusters
+		}
+		s.heap.Remove(e.OID)
+		s.stale.Clear(e.OID)
+		evicted++
+	}
+	return evicted
+}
+
+// ReplicaCount returns how many replicas the site currently holds.
+func (s *Site) ReplicaCount() int {
+	n := 0
+	for _, e := range s.heap.Entries() {
+		if e.Role == heap.Replica {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"obiwan/internal/heap"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+)
+
+// bindChain publishes a chain of n notes at the server.
+func bindChain(t *testing.T, server *Site, name string, n int) []*note {
+	t.Helper()
+	notes := make([]*note, n)
+	for i := range notes {
+		notes[i] = &note{Text: fmt.Sprintf("n%d", i)}
+		if err := server.Register(notes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		r, err := server.NewRef(notes[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		notes[i].Next = r
+	}
+	if err := server.Bind(name, notes[0]); err != nil {
+		t.Fatal(err)
+	}
+	return notes
+}
+
+func TestEvictAndRefetch(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	mobile := w.site("mobile")
+	bindChain(t, server, "chain", 2)
+
+	ref, err := mobile.Lookup("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mobile.ReplicaCount() != 1 {
+		t.Fatalf("replicas: %d", mobile.ReplicaCount())
+	}
+	n, err := mobile.Evict(head, false)
+	if err != nil || n != 1 {
+		t.Fatalf("evict: %d %v", n, err)
+	}
+	if mobile.ReplicaCount() != 0 {
+		t.Fatal("replica still in heap")
+	}
+	// The spliced ref still works (it holds the object directly).
+	if res, err := ref.Invoke("Read"); err != nil || res[0] != "n0" {
+		t.Fatalf("spliced ref after evict: %v %v", res, err)
+	}
+	// A fresh lookup re-fetches a new copy.
+	ref2, err := mobile.Lookup("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head2, err := objmodel.Deref[*note](ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head2 == head {
+		t.Fatal("evicted identity must not dedupe")
+	}
+}
+
+func TestEvictRefusesDirty(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	mobile := w.site("mobile")
+	bindChain(t, server, "chain", 1)
+
+	ref, err := mobile.Lookup("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Write("edited")
+	if err := mobile.MarkUpdated(head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mobile.Evict(head, false); !errors.Is(err, ErrDirtyReplica) {
+		t.Fatalf("dirty evict: %v", err)
+	}
+	// Forced eviction discards the edit.
+	if n, err := mobile.Evict(head, true); err != nil || n != 1 {
+		t.Fatalf("forced evict: %d %v", n, err)
+	}
+}
+
+func TestEvictClusterAsUnit(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	mobile := w.site("mobile")
+	bindChain(t, server, "chain", 4)
+
+	ref, err := mobile.LookupSpec("chain", replication.GetSpec{
+		Mode: replication.Incremental, Batch: 4, Clustered: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mobile.ReplicaCount() != 4 {
+		t.Fatalf("replicas: %d", mobile.ReplicaCount())
+	}
+	n, err := mobile.Evict(head, false)
+	if err != nil || n != 4 {
+		t.Fatalf("cluster evict: %d %v", n, err)
+	}
+	if mobile.ReplicaCount() != 0 {
+		t.Fatal("cluster not fully evicted")
+	}
+}
+
+func TestEvictColdestKeepsWorkingSet(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	mobile := w.site("mobile")
+
+	// Replicate 5 independent roots with distinct fetch times.
+	heads := make([]*note, 5)
+	for i := range heads {
+		bindChain(t, server, fmt.Sprintf("doc%d", i), 1)
+		ref, err := mobile.Lookup(fmt.Sprintf("doc%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := objmodel.Deref[*note](ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads[i] = h
+		e, _ := mobile.Heap().EntryOf(h)
+		e.Touch(time.Unix(int64(1000+i), 0)) // deterministic age order
+	}
+	// Dirty the oldest: it must survive the trim.
+	if err := mobile.MarkUpdated(heads[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	evicted := mobile.EvictColdest(2)
+	if evicted != 3 {
+		t.Fatalf("evicted %d, want 3", evicted)
+	}
+	// Two survivors: the dirty oldest (never dropped silently) counts
+	// toward the budget, plus the newest.
+	for i, want := range []bool{true, false, false, false, true} {
+		_, ok := mobile.Heap().EntryOf(heads[i])
+		if ok != want {
+			t.Fatalf("head %d present=%v want %v", i, ok, want)
+		}
+	}
+	// No-op when already within budget.
+	if n := mobile.EvictColdest(10); n != 0 {
+		t.Fatalf("within budget evicted %d", n)
+	}
+}
+
+func TestEvictValidation(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	notes := bindChain(t, server, "chain", 1)
+	if _, err := server.Evict(notes[0], false); !errors.Is(err, replication.ErrNotReplica) {
+		t.Fatalf("evicting a master: %v", err)
+	}
+	if _, err := server.Evict(&note{}, false); !errors.Is(err, heap.ErrUnknownObject) {
+		t.Fatalf("evicting unknown: %v", err)
+	}
+}
+
+func TestEvictClusterForgetsBookkeeping(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	mobile := w.site("mobile")
+	notes := bindChain(t, server, "chain", 3)
+
+	spec := replication.GetSpec{Mode: replication.Incremental, Batch: 3, Clustered: true}
+	ref, err := mobile.LookupSpec("chain", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mobile.Evict(head, false); err != nil || n != 3 {
+		t.Fatalf("evict: %d %v", n, err)
+	}
+	// Re-replicate the same cluster and put it: the bookkeeping must have
+	// been rebuilt cleanly rather than pointing at evicted members.
+	ref2, err := mobile.LookupSpec("chain", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head2, err := objmodel.Deref[*note](ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head2.Write("after re-replication")
+	if err := mobile.PutCluster(head2); err != nil {
+		t.Fatal(err)
+	}
+	if notes[0].Text != "after re-replication" {
+		t.Fatalf("master: %q", notes[0].Text)
+	}
+}

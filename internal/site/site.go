@@ -1,0 +1,474 @@
+// Package site composes the OBIWAN runtime services — RMI, heap,
+// replication engine, QoS monitor, name-server client, and consistency
+// plumbing — into the process-level abstraction the paper calls a site.
+//
+// "OBIWAN gives to the application programmer the view of a network of
+// machines in which one or more processes run; objects exist inside
+// processes" (§2). A Site is one such process: it registers master
+// objects, exports graph roots, looks up remote roots by name, and carries
+// the mobility machinery (disconnected operation, dirty-replica sync,
+// invalidation sinks, leases).
+package site
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"obiwan/internal/admin"
+	"obiwan/internal/consistency"
+	"obiwan/internal/dissemination"
+	"obiwan/internal/heap"
+	"obiwan/internal/nameserver"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/qos"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+// SinkIface is the symbolic interface name of a site's invalidation sink.
+const SinkIface = "obiwan.InvalidationSink"
+
+// sinkID is the well-known object id of the invalidation sink: it is
+// always a site's first export.
+const sinkID rmi.ObjID = 1
+
+// ErrNoNameServer is returned by name operations on sites built without
+// a name server.
+var ErrNoNameServer = errors.New("site: no name server configured")
+
+// Option configures a Site.
+type Option func(*options)
+
+type options struct {
+	siteID      uint16
+	nsAddr      transport.Addr
+	policy      replication.Policy
+	invalidate  bool
+	lease       *consistency.Lease
+	defaultSpec replication.GetSpec
+	fetchFactor float64
+	callTimeout time.Duration
+}
+
+// WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
+// a hash of the site name.
+func WithSiteID(id uint16) Option { return func(o *options) { o.siteID = id } }
+
+// WithNameServer points the site at a standalone name server.
+func WithNameServer(addr transport.Addr) Option { return func(o *options) { o.nsAddr = addr } }
+
+// WithPolicy installs a master-side consistency policy.
+func WithPolicy(p replication.Policy) Option { return func(o *options) { o.policy = p } }
+
+// WithInvalidation enables invalidation-based consistency: this site (as a
+// master) notifies replica holders on every update, and (as a client)
+// exports a sink that records invalidations in the stale ledger. Composes
+// with WithPolicy: the configured policy decides put acceptance.
+func WithInvalidation() Option { return func(o *options) { o.invalidate = true } }
+
+// WithLease installs a client-side lease: replicas older than ttl are
+// reported by LeaseExpired and refreshed by RefreshExpired.
+func WithLease(ttl time.Duration) Option {
+	return func(o *options) { o.lease = consistency.NewLease(ttl) }
+}
+
+// WithDefaultSpec sets the replication spec used by Lookup when none is
+// given explicitly.
+func WithDefaultSpec(spec replication.GetSpec) Option {
+	return func(o *options) { o.defaultSpec = spec }
+}
+
+// WithFetchFactor tunes the ModeAuto crossover (see qos.Advisor).
+func WithFetchFactor(f float64) Option { return func(o *options) { o.fetchFactor = f } }
+
+// WithCallTimeout sets the RMI per-call timeout.
+func WithCallTimeout(d time.Duration) Option { return func(o *options) { o.callTimeout = d } }
+
+// Site is one OBIWAN process.
+type Site struct {
+	name    string
+	rt      *rmi.Runtime
+	heap    *heap.Heap
+	engine  *replication.Engine
+	monitor *qos.Monitor
+	ns      *nameserver.Client
+	stale   *consistency.StaleSet
+	lease   *consistency.Lease
+	inval   *consistency.Invalidation
+	spec    replication.GetSpec
+	applier *dissemination.Applier
+
+	mu         sync.Mutex
+	basePolicy replication.Policy
+	publisher  *dissemination.Publisher
+}
+
+// New starts a site named name on network. The name doubles as the
+// listen address on simulated networks; on TCP pass "host:port" via the
+// name and a human name via the options if desired.
+func New(name string, network transport.Network, opts ...Option) (*Site, error) {
+	o := &options{
+		defaultSpec: replication.DefaultSpec,
+		fetchFactor: 2,
+		callTimeout: 10 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.siteID == 0 {
+		o.siteID = hashSiteID(name)
+	}
+
+	monitor := qos.NewMonitor()
+	rt, err := rmi.NewRuntime(network, transport.Addr(name),
+		rmi.WithObserver(monitor.Observe),
+		rmi.WithCallTimeout(o.callTimeout),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("site %q: %w", name, err)
+	}
+
+	s := &Site{
+		name:    name,
+		rt:      rt,
+		heap:    heap.New(o.siteID),
+		monitor: monitor,
+		stale:   consistency.NewStaleSet(),
+		lease:   o.lease,
+		spec:    o.defaultSpec,
+	}
+
+	// The invalidation sink is always exported first and the update sink
+	// second, so every site can be notified at well-known ids — whether or
+	// not it enables the corresponding policy itself.
+	sinkRef, err := rt.Export(&invalidationSink{stale: s.stale}, SinkIface)
+	if err != nil {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: export sink: %w", name, err)
+	}
+	if sinkRef.ID != sinkID {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: sink landed at id %d, want %d", name, sinkRef.ID, sinkID)
+	}
+
+	policy := o.policy
+	s.basePolicy = policy
+	engineOpts := []replication.Option{
+		replication.WithCrossover(s.crossover),
+	}
+	if o.invalidate {
+		inval := consistency.NewInvalidation(s.notifyHolder)
+		if policy != nil {
+			inval.Base = policy
+		}
+		s.inval = inval
+		policy = inval
+	}
+	if policy != nil {
+		engineOpts = append(engineOpts, replication.WithPolicy(policy))
+	}
+	s.engine = replication.NewEngine(rt, s.heap, engineOpts...)
+	s.applier = dissemination.NewApplier(s.engine)
+	upRef, err := rt.Export(&updateSink{applier: s.applier}, UpdateSinkIface)
+	if err != nil {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: export update sink: %w", name, err)
+	}
+	if upRef.ID != updateSinkID {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: update sink landed at id %d, want %d", name, upRef.ID, updateSinkID)
+	}
+
+	adminRef, err := rt.Export(admin.NewService(name, rt, s.heap, s.engine), admin.Iface)
+	if err != nil {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: export admin: %w", name, err)
+	}
+	if adminRef.ID != adminID {
+		_ = rt.Close()
+		return nil, fmt.Errorf("site %q: admin landed at id %d, want %d", name, adminRef.ID, adminID)
+	}
+
+	if o.nsAddr != "" {
+		s.ns = nameserver.NewClient(rt, nameserver.WellKnownRef(o.nsAddr))
+	}
+	return s, nil
+}
+
+// adminID is the well-known object id of the admin service: always a
+// site's third export (after the invalidation and update sinks).
+const adminID rmi.ObjID = 3
+
+// AdminRef builds the reference to the admin service of the site at addr.
+func AdminRef(addr transport.Addr) rmi.RemoteRef {
+	return rmi.RemoteRef{Addr: addr, ID: adminID, Iface: admin.Iface}
+}
+
+// Inspect queries a peer site's admin service from this site.
+func (s *Site) Inspect(addr transport.Addr) (*admin.SiteReport, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Report()
+}
+
+// hashSiteID derives a stable non-zero 16-bit id from the site name (FNV-1a).
+func hashSiteID(name string) uint16 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	id := uint16(h ^ (h >> 16))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// crossover implements the ModeAuto decision using per-peer advisors.
+func (s *Site) crossover(peer transport.Addr, oid objmodel.OID, calls uint64) bool {
+	adv := qos.NewAdvisor(s.monitor, peer)
+	return adv.Crossover(oid, calls)
+}
+
+// notifyHolder delivers an invalidation to a holder site's sink.
+func (s *Site) notifyHolder(holder string, oid objmodel.OID, version uint64) error {
+	if holder == s.name {
+		s.stale.MarkStale(oid, version)
+		return nil
+	}
+	ref := rmi.RemoteRef{Addr: transport.Addr(holder), ID: sinkID, Iface: SinkIface}
+	_, err := s.rt.Call(ref, "Invalidate", uint64(oid), version)
+	return err
+}
+
+// invalidationSink receives invalidations over RMI.
+type invalidationSink struct {
+	stale *consistency.StaleSet
+}
+
+// Invalidate records that oid has a newer master version.
+func (k *invalidationSink) Invalidate(oid uint64, version uint64) {
+	k.stale.MarkStale(objmodel.OID(oid), version)
+}
+
+// Name returns the site's name.
+func (s *Site) Name() string { return s.name }
+
+// Addr returns the site's RMI address.
+func (s *Site) Addr() transport.Addr { return s.rt.Addr() }
+
+// Engine exposes the replication engine for advanced use.
+func (s *Site) Engine() *replication.Engine { return s.engine }
+
+// Heap exposes the site's object store.
+func (s *Site) Heap() *heap.Heap { return s.heap }
+
+// Runtime exposes the RMI runtime.
+func (s *Site) Runtime() *rmi.Runtime { return s.rt }
+
+// Monitor exposes the QoS monitor.
+func (s *Site) Monitor() *qos.Monitor { return s.monitor }
+
+// StaleSet exposes the invalidation ledger.
+func (s *Site) StaleSet() *consistency.StaleSet { return s.stale }
+
+// Close shuts the site down.
+func (s *Site) Close() error { return s.rt.Close() }
+
+// Register adds obj as a master object at this site.
+func (s *Site) Register(obj any) error {
+	_, err := s.engine.RegisterMaster(obj)
+	return err
+}
+
+// NewRef returns a resolved reference to a local object (registering it as
+// a master if new) for wiring object graphs.
+func (s *Site) NewRef(target any) (*objmodel.Ref, error) {
+	return s.engine.NewRef(target)
+}
+
+// Export publishes obj's proxy-in and returns its descriptor.
+func (s *Site) Export(obj any) (replication.Descriptor, error) {
+	return s.engine.ExportObject(obj)
+}
+
+// Bind exports obj and registers its descriptor in the name server under
+// name (replacing any previous binding).
+func (s *Site) Bind(name string, obj any) error {
+	if s.ns == nil {
+		return ErrNoNameServer
+	}
+	d, err := s.Export(obj)
+	if err != nil {
+		return err
+	}
+	return s.ns.Rebind(name, d)
+}
+
+// Lookup resolves name at the name server and returns an unresolved
+// reference that replicates with the site's default spec on first use.
+func (s *Site) Lookup(name string) (*objmodel.Ref, error) {
+	return s.LookupSpec(name, s.spec)
+}
+
+// LookupSpec is Lookup with an explicit replication spec.
+func (s *Site) LookupSpec(name string, spec replication.GetSpec) (*objmodel.Ref, error) {
+	if s.ns == nil {
+		return nil, ErrNoNameServer
+	}
+	d, err := s.ns.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.RefFromDescriptor(d, spec), nil
+}
+
+// Replicate demands ref's target with an explicit spec (the run-time mode
+// decision of §2.1).
+func (s *Site) Replicate(ref *objmodel.Ref, spec replication.GetSpec) (any, error) {
+	return s.engine.Replicate(ref, spec)
+}
+
+// Put ships a replica's state back to its master.
+func (s *Site) Put(obj any) error { return s.engine.Put(obj) }
+
+// PutCluster ships the whole cluster containing obj back to its master.
+func (s *Site) PutCluster(obj any) error { return s.engine.PutCluster(obj) }
+
+// Refresh re-fetches a replica's state from its master and clears its
+// staleness mark.
+func (s *Site) Refresh(obj any) error {
+	if err := s.engine.Refresh(obj); err != nil {
+		return err
+	}
+	if e, ok := s.heap.EntryOf(obj); ok {
+		s.stale.Clear(e.OID)
+	}
+	return nil
+}
+
+// MarkUpdated records a local state change: version bump + invalidations
+// on masters, dirty flag on replicas.
+func (s *Site) MarkUpdated(obj any) error { return s.engine.MarkUpdated(obj) }
+
+// DirtyReplicas returns the replicas with unsaved local modifications.
+func (s *Site) DirtyReplicas() []any {
+	var out []any
+	for _, e := range s.heap.Entries() {
+		if e.Role == heap.Replica && e.Dirty() {
+			out = append(out, e.Obj)
+		}
+	}
+	return out
+}
+
+// SyncDirty puts every dirty replica back to its master — the
+// reconnection step of the paper's mobile scenario. Cluster members are
+// shipped once per cluster. It returns the number of objects synced and
+// the first error encountered (sync continues past errors so one
+// conflicted object does not strand the rest).
+func (s *Site) SyncDirty() (int, error) {
+	var firstErr error
+	synced := 0
+	doneClusters := make(map[objmodel.OID]bool)
+	entries := s.heap.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].OID < entries[j].OID })
+	for _, e := range entries {
+		if e.Role != heap.Replica || !e.Dirty() {
+			continue
+		}
+		var err error
+		if e.ClusterMember() {
+			root := e.ClusterRoot()
+			if doneClusters[root] {
+				continue
+			}
+			doneClusters[root] = true
+			err = s.engine.PutCluster(e.Obj)
+		} else {
+			err = s.engine.Put(e.Obj)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sync %v: %w", e.OID, err)
+			}
+			continue
+		}
+		synced++
+	}
+	return synced, firstErr
+}
+
+// RefreshStale refreshes every replica marked stale by invalidations.
+// It returns the number refreshed and the first error encountered.
+func (s *Site) RefreshStale() (int, error) {
+	var firstErr error
+	refreshed := 0
+	for _, oid := range s.stale.Stale() {
+		e, ok := s.heap.Get(oid)
+		if !ok {
+			s.stale.Clear(oid) // evicted: nothing to refresh
+			continue
+		}
+		if err := s.Refresh(e.Obj); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("refresh %v: %w", oid, err)
+			}
+			continue
+		}
+		refreshed++
+	}
+	return refreshed, firstErr
+}
+
+// LeaseExpired returns the replicas whose lease has run out. Without a
+// configured lease it returns nil.
+func (s *Site) LeaseExpired() []any {
+	if s.lease == nil {
+		return nil
+	}
+	var out []any
+	for _, e := range s.heap.Entries() {
+		if e.Role == heap.Replica && s.lease.Expired(e.FetchedAt()) {
+			out = append(out, e.Obj)
+		}
+	}
+	return out
+}
+
+// RefreshExpired refreshes every lease-expired replica.
+func (s *Site) RefreshExpired() (int, error) {
+	var firstErr error
+	refreshed := 0
+	for _, obj := range s.LeaseExpired() {
+		if err := s.Refresh(obj); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		refreshed++
+	}
+	return refreshed, firstErr
+}
+
+// Checkpoint serializes every master object at this site to w, making the
+// site's object universe durable across process restarts. Replicas are
+// not checkpointed (they re-fetch from their masters); name-server
+// bindings live in the name server and must be re-bound after a restore.
+func (s *Site) Checkpoint(w io.Writer) error {
+	return s.engine.CheckpointMasters(w)
+}
+
+// Restore recreates the master objects of a checkpoint taken with
+// Checkpoint, preserving identities and versions. The site must have been
+// created with the same WithSiteID as the checkpointing incarnation. The
+// restored objects are returned by identity so the application can re-bind
+// its graph roots.
+func (s *Site) Restore(r io.Reader) (map[objmodel.OID]any, error) {
+	return s.engine.RestoreMasters(r)
+}

@@ -1,0 +1,135 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/transport"
+)
+
+// TestSoakConcurrentMobility runs several mobile sites against one master
+// under churn: concurrent replication, edits, puts, refreshes, and
+// periodic disconnections. The test asserts that only disconnection-class
+// errors occur, that every site converges to the master state at the end,
+// and (under -race) that the whole stack is data-race free.
+func TestSoakConcurrentMobility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		nMobiles = 4
+		nDocs    = 8
+		nIters   = 40
+	)
+	w := newWorld(t)
+	server := w.site("server") // last-writer-wins: every put lands
+
+	masters := make([]*note, nDocs)
+	for i := range masters {
+		masters[i] = &note{Text: fmt.Sprintf("doc-%d v0", i)}
+		if err := server.Bind(fmt.Sprintf("doc/%d", i), masters[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nMobiles*nIters)
+	mobiles := make([]*Site, nMobiles)
+	for m := 0; m < nMobiles; m++ {
+		mobiles[m] = w.site(fmt.Sprintf("mobile-%d", m))
+	}
+	for m := 0; m < nMobiles; m++ {
+		mobile := mobiles[m]
+		wg.Add(1)
+		go func(m int, mobile *Site) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(m)))
+			name := mobile.Name()
+			addr := transport.Addr(name)
+			for i := 0; i < nIters; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					w.net.PartitionHost(addr)
+				case 1:
+					w.net.HealHost(addr)
+				}
+				d := rng.Intn(nDocs)
+				ref, err := mobile.Lookup(fmt.Sprintf("doc/%d", d))
+				if err != nil {
+					if !isNetworkErr(err) {
+						errCh <- fmt.Errorf("%s lookup: %w", name, err)
+					}
+					continue
+				}
+				replica, err := objmodel.Deref[*note](ref)
+				if err != nil {
+					if !isNetworkErr(err) {
+						errCh <- fmt.Errorf("%s deref: %w", name, err)
+					}
+					continue
+				}
+				switch rng.Intn(3) {
+				case 0: // read
+					if _, err := ref.Invoke("Read"); err != nil && !isNetworkErr(err) {
+						errCh <- fmt.Errorf("%s read: %w", name, err)
+					}
+				case 1: // edit + put
+					replica.Write(fmt.Sprintf("doc-%d by %s iter %d", d, name, i))
+					if err := mobile.Put(replica); err != nil && !isNetworkErr(err) {
+						errCh <- fmt.Errorf("%s put: %w", name, err)
+					}
+				case 2: // refresh
+					if err := mobile.Refresh(replica); err != nil && !isNetworkErr(err) {
+						errCh <- fmt.Errorf("%s refresh: %w", name, err)
+					}
+				}
+			}
+			w.net.HealHost(addr)
+		}(m, mobile)
+	}
+	wg.Wait()
+
+	// Convergence phase: all writers are quiescent. Refresh every replica
+	// and compare against the masters.
+	for _, mobile := range mobiles {
+		name := mobile.Name()
+		for _, e := range mobile.Heap().Entries() {
+			if err := mobile.Refresh(e.Obj); err != nil {
+				errCh <- fmt.Errorf("%s final refresh: %w", name, err)
+			}
+		}
+		for _, e := range mobile.Heap().Entries() {
+			replica := e.Obj.(*note)
+			var master *note
+			for _, mn := range masters {
+				me, _ := server.Heap().EntryOf(mn)
+				if me.OID == e.OID {
+					master = mn
+					break
+				}
+			}
+			if master == nil {
+				errCh <- fmt.Errorf("%s holds unknown oid %v", name, e.OID)
+				continue
+			}
+			if replica.Text != master.Text {
+				errCh <- fmt.Errorf("%s diverged on %v: %q vs %q",
+					name, e.OID, replica.Text, master.Text)
+			}
+		}
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// isNetworkErr classifies the failures the soak test deliberately injects.
+func isNetworkErr(err error) bool {
+	return errors.Is(err, netsim.ErrDisconnected)
+}

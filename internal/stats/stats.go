@@ -1,0 +1,193 @@
+// Package stats provides the small measurement toolkit the benchmark
+// harness uses: duration summaries with percentiles and fixed-width table
+// rendering for experiment output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates duration samples. Not safe for concurrent use; the
+// harness measures single-threaded.
+type Summary struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *Summary) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Total returns the sum of all samples.
+func (s *Summary) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.samples {
+		t += d
+	}
+	return t
+}
+
+// Mean returns the average sample (0 with no samples).
+func (s *Summary) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Total() / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() time.Duration {
+	s.sort()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() time.Duration {
+	s.sort()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by the
+// nearest-rank method.
+func (s *Summary) Percentile(p float64) time.Duration {
+	s.sort()
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[n-1]
+	}
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return s.samples[rank]
+}
+
+func (s *Summary) sort() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+	s.sorted = true
+}
+
+// Table renders rows of experiment output with aligned columns.
+type Table struct {
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// WriteTo renders the table. It implements a fixed-width text layout; the
+// error is always nil (io.Writer errors are ignored intentionally — the
+// harness writes to stdout).
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var n int64
+	write := func(s string) {
+		m, _ := io.WriteString(w, s)
+		n += int64(m)
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(h, widths[i]))
+	}
+	write(b.String() + "\n")
+	b.Reset()
+	for i := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	write(b.String() + "\n")
+	for _, row := range t.rows {
+		b.Reset()
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		write(b.String() + "\n")
+	}
+	return n, nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV renders the table as comma-separated values (headers first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+	for _, d := range []time.Duration{30, 10, 20} {
+		s.Add(d * time.Millisecond)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count: %d", s.Count())
+	}
+	if s.Total() != 60*time.Millisecond {
+		t.Fatalf("total: %v", s.Total())
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean: %v", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max: %v %v", s.Min(), s.Max())
+	}
+	if s.Percentile(50) != 20*time.Millisecond {
+		t.Fatalf("p50: %v", s.Percentile(50))
+	}
+	if s.Percentile(0) != 10*time.Millisecond || s.Percentile(100) != 30*time.Millisecond {
+		t.Fatalf("p0/p100: %v %v", s.Percentile(0), s.Percentile(100))
+	}
+}
+
+func TestSummaryAddAfterSort(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	_ = s.Min() // forces sort
+	s.Add(1)    // must invalidate sorted state
+	if s.Min() != 1 {
+		t.Fatalf("min after re-add: %v", s.Min())
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		a := float64(aRaw % 101)
+		b := float64(bRaw % 101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("short", 1.5)
+	tab.AddRow("a-much-longer-name", 42*time.Millisecond)
+	if tab.Len() != 2 {
+		t.Fatalf("len: %d", tab.Len())
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines: %d\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[2], "1.500") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	// Columns align: the rule row is at least as wide as the longest cell.
+	if len(lines[1]) < len("a-much-longer-name") {
+		t.Fatalf("rule too short: %q", lines[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, "x")
+	got := tab.CSV()
+	if got != "a,b\n1,x\n" {
+		t.Fatalf("csv: %q", got)
+	}
+}

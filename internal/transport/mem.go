@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"obiwan/internal/netsim"
+)
+
+// MemNetwork is an in-process network whose point-to-point links are
+// modelled by netsim. It is the synthetic testbed for every experiment:
+// link profiles can be changed at run time and individual hosts can be
+// disconnected, reproducing the mobile scenarios of the paper.
+//
+// MemNetwork is safe for concurrent use.
+type MemNetwork struct {
+	mu        sync.Mutex
+	defProf   netsim.Profile
+	seed      int64
+	listeners map[Addr]*memListener
+	links     map[linkKey]*netsim.Link
+	downHosts map[Addr]bool
+}
+
+type linkKey struct{ from, to Addr }
+
+// NewMemNetwork returns a network whose links default to profile p.
+func NewMemNetwork(p netsim.Profile) *MemNetwork {
+	return &MemNetwork{
+		defProf:   p,
+		seed:      1,
+		listeners: make(map[Addr]*memListener),
+		links:     make(map[linkKey]*netsim.Link),
+		downHosts: make(map[Addr]bool),
+	}
+}
+
+// link returns (creating if needed) the directional link from→to.
+func (n *MemNetwork) link(from, to Addr) *netsim.Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linkLocked(from, to)
+}
+
+func (n *MemNetwork) linkLocked(from, to Addr) *netsim.Link {
+	k := linkKey{from, to}
+	l, ok := n.links[k]
+	if !ok {
+		n.seed++
+		l = netsim.NewLink(n.defProf, n.seed)
+		n.links[k] = l
+	}
+	return l
+}
+
+// SetProfile sets the link profile in both directions between a and b.
+func (n *MemNetwork) SetProfile(a, b Addr, p netsim.Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(a, b).SetProfile(p)
+	n.linkLocked(b, a).SetProfile(p)
+}
+
+// Disconnect severs both directions between a and b; in-flight messages
+// still arrive (they are already "on the wire") but new sends fail with
+// netsim.ErrDisconnected.
+func (n *MemNetwork) Disconnect(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(a, b).SetDown(true)
+	n.linkLocked(b, a).SetDown(true)
+}
+
+// Reconnect restores both directions between a and b.
+func (n *MemNetwork) Reconnect(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(a, b).SetDown(false)
+	n.linkLocked(b, a).SetDown(false)
+}
+
+// PartitionHost disconnects host from everyone — the laptop going into the
+// taxi. Existing and future links touching the host reject sends.
+func (n *MemNetwork) PartitionHost(host Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downHosts[host] = true
+}
+
+// HealHost reverses PartitionHost.
+func (n *MemNetwork) HealHost(host Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downHosts, host)
+}
+
+func (n *MemNetwork) hostDown(a, b Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.downHosts[a] || n.downHosts[b]
+}
+
+// LinkStats returns traffic counters for the directional link from→to.
+func (n *MemNetwork) LinkStats(from, to Addr) netsim.Stats {
+	return n.link(from, to).Stats()
+}
+
+// Listen binds a listener at local.
+func (n *MemNetwork) Listen(local Addr) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[local]; exists {
+		return nil, fmt.Errorf("transport: address %q already bound", local)
+	}
+	ln := &memListener{
+		net:     n,
+		addr:    local,
+		pending: make(chan *memConn, 16),
+		done:    make(chan struct{}),
+	}
+	n.listeners[local] = ln
+	return ln, nil
+}
+
+// Dial connects from local to remote. The connection's two directions use
+// the local→remote and remote→local links.
+func (n *MemNetwork) Dial(local, remote Addr) (Conn, error) {
+	n.mu.Lock()
+	ln, ok := n.listeners[remote]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no listener at %q", ErrUnreachable, remote)
+	}
+	if n.hostDown(local, remote) {
+		return nil, netsim.ErrDisconnected
+	}
+
+	c2s := newMsgQueue() // client → server
+	s2c := newMsgQueue() // server → client
+	client := &memConn{
+		net: n, local: local, remote: remote,
+		out: c2s, in: s2c, outLink: n.link(local, remote),
+	}
+	server := &memConn{
+		net: n, local: remote, remote: local,
+		out: s2c, in: c2s, outLink: n.link(remote, local),
+	}
+	select {
+	case ln.pending <- server:
+		return client, nil
+	case <-ln.done:
+		return nil, fmt.Errorf("%w: listener at %q closed", ErrUnreachable, remote)
+	}
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+type memListener struct {
+	net     *MemNetwork
+	addr    Addr
+	pending chan *memConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() Addr { return l.addr }
+
+// queuedMsg is a message plus its simulated arrival time.
+type queuedMsg struct {
+	data []byte
+	due  time.Time
+}
+
+// msgQueue is an unbounded FIFO with blocking pop and close semantics.
+type msgQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queuedMsg
+	closed bool
+}
+
+func newMsgQueue() *msgQueue {
+	q := &msgQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *msgQueue) push(m queuedMsg) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a message is queued or the queue closes. Buffered
+// messages drain even after close (they were already in flight).
+func (q *msgQueue) pop() (queuedMsg, error) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return queuedMsg{}, ErrClosed
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return m, nil
+}
+
+func (q *msgQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// memConn is one endpoint of a simulated connection.
+type memConn struct {
+	net     *MemNetwork
+	local   Addr
+	remote  Addr
+	out     *msgQueue
+	in      *msgQueue
+	outLink *netsim.Link
+	once    sync.Once
+}
+
+func (c *memConn) Send(p []byte) error {
+	if err := validateSize(len(p)); err != nil {
+		return err
+	}
+	if c.net.hostDown(c.local, c.remote) {
+		return netsim.ErrDisconnected
+	}
+	delay, err := c.outLink.Plan(len(p))
+	if err != nil {
+		return err
+	}
+	// Copy: the caller may reuse its buffer after Send returns.
+	data := make([]byte, len(p))
+	copy(data, p)
+	return c.out.push(queuedMsg{data: data, due: time.Now().Add(delay)})
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	m, err := c.in.pop()
+	if err != nil {
+		return nil, err
+	}
+	// Realize the simulated propagation delay as wall-clock time with
+	// sub-tick precision (plain time.Sleep overshoots by a timer tick).
+	netsim.SleepUntil(m.due)
+	return m.data, nil
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() {
+		c.out.close()
+		c.in.close()
+	})
+	return nil
+}
+
+func (c *memConn) RemoteAddr() Addr { return c.remote }
+func (c *memConn) LocalAddr() Addr  { return c.local }

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork implements Network over real TCP sockets with 4-byte
+// length-delimited frames. It lets the same OBIWAN code run as separate OS
+// processes (cmd/nameserver, multi-process examples) instead of inside the
+// simulated network.
+type TCPNetwork struct{}
+
+// NewTCPNetwork returns a TCP-backed Network.
+func NewTCPNetwork() *TCPNetwork { return &TCPNetwork{} }
+
+var _ Network = (*TCPNetwork)(nil)
+
+// Listen binds a TCP listener at local ("host:port"; ":0" picks a free
+// port — read the chosen address back with Listener.Addr).
+func (n *TCPNetwork) Listen(local Addr) (Listener, error) {
+	ln, err := net.Listen("tcp", string(local))
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", local, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial connects to remote. The local address is ignored; the kernel picks.
+func (n *TCPNetwork) Dial(_, remote Addr) (Conn, error) {
+	c, err := net.Dial("tcp", string(remote))
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %q: %v", ErrUnreachable, remote, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+func (l *tcpListener) Addr() Addr { return Addr(l.ln.Addr().String()) }
+
+// tcpConn frames messages as [uint32 big-endian length][payload].
+type tcpConn struct {
+	c       net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	hdrBuf  [4]byte
+	sendHdr [4]byte
+}
+
+func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c} }
+
+func (t *tcpConn) Send(p []byte) error {
+	if err := validateSize(len(p)); err != nil {
+		return err
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	binary.BigEndian.PutUint32(t.sendHdr[:], uint32(len(p)))
+	if _, err := t.c.Write(t.sendHdr[:]); err != nil {
+		return t.mapErr(err)
+	}
+	if _, err := t.c.Write(p); err != nil {
+		return t.mapErr(err)
+	}
+	return nil
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if _, err := io.ReadFull(t.c, t.hdrBuf[:]); err != nil {
+		return nil, t.mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(t.hdrBuf[:])
+	if err := validateSize(int(n)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		return nil, t.mapErr(err)
+	}
+	return buf, nil
+}
+
+func (t *tcpConn) mapErr(err error) error {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	return err
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+func (t *tcpConn) RemoteAddr() Addr { return Addr(t.c.RemoteAddr().String()) }
+func (t *tcpConn) LocalAddr() Addr  { return Addr(t.c.LocalAddr().String()) }

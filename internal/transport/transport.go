@@ -1,0 +1,80 @@
+// Package transport provides the message-oriented networking layer OBIWAN
+// sites communicate over.
+//
+// Two interchangeable implementations exist:
+//
+//   - MemNetwork: an in-process network whose links are modelled by
+//     package netsim. This is the default substrate for experiments: it
+//     reproduces the paper's 10 Mb/s-LAN cost regime and supports the
+//     disconnections that motivate the mobility scenario.
+//   - TCPNetwork: real TCP with length-delimited frames, for running sites
+//     as separate OS processes (examples and integration tests).
+//
+// Both deliver whole messages reliably and in FIFO order per connection,
+// which is what Java RMI's TCP transport gave the original prototype.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr identifies an endpoint. For MemNetwork it is a site name such as
+// "s1"; for TCPNetwork it is a "host:port" pair.
+type Addr string
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnreachable is returned when no listener exists at the dialed address.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// MaxMessageSize bounds a single framed message (64 MiB). The largest
+// experiment payload — a transitive closure of 1000 objects of 16 KiB — is
+// about 16 MiB; the bound exists to fail fast on corrupt length prefixes,
+// not to constrain legitimate replication.
+const MaxMessageSize = 64 << 20
+
+// Conn is a reliable, ordered, message-oriented connection.
+//
+// Send and Recv may be used concurrently with each other, but at most one
+// goroutine may call Send and one may call Recv at a time.
+type Conn interface {
+	// Send transmits one message. It blocks for the link's transmission
+	// time (flow control) but not for propagation.
+	Send(p []byte) error
+	// Recv returns the next message, blocking until one arrives or the
+	// connection closes.
+	Recv() ([]byte, error)
+	// Close releases the connection. Pending Recv calls return ErrClosed
+	// once buffered messages are drained.
+	Close() error
+	// RemoteAddr returns the peer's address.
+	RemoteAddr() Addr
+	// LocalAddr returns this end's address.
+	LocalAddr() Addr
+}
+
+// Listener accepts inbound connections at a fixed address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() Addr
+}
+
+// Network creates listeners and outbound connections.
+type Network interface {
+	// Listen binds a listener at local.
+	Listen(local Addr) (Listener, error)
+	// Dial connects from local to remote. TCP implementations may ignore
+	// local; the simulated network uses it to select the link model.
+	Dial(local, remote Addr) (Conn, error)
+}
+
+// validateSize rejects messages that exceed the framing limit.
+func validateSize(n int) error {
+	if n > MaxMessageSize {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit %d", n, MaxMessageSize)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"testing"
+
+	"obiwan/internal/codec"
+)
+
+// FuzzDecodeFrame checks that the RMI frame parser survives arbitrary
+// input: no panics, no over-reads, errors only.
+func FuzzDecodeFrame(f *testing.F) {
+	reg := codec.NewRegistry()
+	if frame, err := EncodeCall(reg, &Call{ID: 1, Target: 2, Method: "M", Args: []any{int64(1), "s"}}); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := EncodeReply(reg, &Reply{ID: 1, Results: []any{"ok"}}); err == nil {
+		f.Add(frame)
+	}
+	f.Add(EncodeFault(&Fault{ID: 1, Code: FaultApp, Message: "boom"}))
+	f.Add([]byte{})
+	f.Add([]byte{KindCall})
+	f.Add([]byte{KindCall, 0x01, 0x02, 0x01, 'M', 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decode(reg, data)
+	})
+}
+
+// FuzzCallRoundTrip checks that any call frame that encodes also decodes
+// back to the same content.
+func FuzzCallRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), "Method", "arg", int64(7))
+	f.Add(uint64(0), uint64(0), "", "", int64(0))
+
+	reg := codec.NewRegistry()
+	f.Fuzz(func(t *testing.T, id, target uint64, method, sArg string, iArg int64) {
+		in := &Call{ID: id, Target: target, Method: method, Args: []any{sArg, iArg}}
+		frame, err := EncodeCall(reg, in)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := Decode(reg, frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		c, ok := out.(*Call)
+		if !ok {
+			t.Fatalf("decoded %T", out)
+		}
+		if c.ID != id || c.Target != target || c.Method != method ||
+			c.Args[0] != sArg || c.Args[1] != iArg {
+			t.Fatalf("round trip mismatch: %+v vs %+v", c, in)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"obiwan/internal/codec"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	reg := codec.NewRegistry()
+	in := &Call{
+		ID: 7, Target: 42, Method: "Get",
+		Args: []any{int64(1), "two", []byte{3}, nil, true},
+	}
+	frame, err := EncodeCall(reg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(reg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := out.(*Call)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if c.ID != 7 || c.Target != 42 || c.Method != "Get" || len(c.Args) != 5 {
+		t.Fatalf("call: %+v", c)
+	}
+	if c.Args[0] != int64(1) || c.Args[1] != "two" || c.Args[3] != nil || c.Args[4] != true {
+		t.Fatalf("args: %+v", c.Args)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	reg := codec.NewRegistry()
+	frame, err := EncodeReply(reg, &Reply{ID: 9, Results: []any{"ok", uint64(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(reg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := out.(*Reply)
+	if !ok || r.ID != 9 || len(r.Results) != 2 || r.Results[0] != "ok" {
+		t.Fatalf("reply: %#v (%T)", out, out)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	reg := codec.NewRegistry()
+	frame := EncodeFault(&Fault{ID: 3, Code: FaultApp, Message: "boom"})
+	out, err := Decode(reg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := out.(*Fault)
+	if !ok || f.ID != 3 || f.Code != FaultApp || f.Message != "boom" {
+		t.Fatalf("fault: %#v", out)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	reg := codec.NewRegistry()
+	if _, err := Decode(reg, []byte{0x7F, 0, 0}); err == nil || !strings.Contains(err.Error(), "unknown frame kind") {
+		t.Fatalf("err: %v", err)
+	}
+	if _, err := Decode(reg, nil); err == nil {
+		t.Fatal("empty frame must fail")
+	}
+}
+
+func TestEncodeCallUnsupportedArg(t *testing.T) {
+	reg := codec.NewRegistry()
+	_, err := EncodeCall(reg, &Call{Method: "M", Args: []any{struct{ X int }{1}}})
+	if err == nil {
+		t.Fatal("unregistered struct arg must fail to encode")
+	}
+}
+
+// Property: decoding arbitrary junk never panics.
+func TestQuickDecodeRobust(t *testing.T) {
+	reg := codec.NewRegistry()
+	f := func(junk []byte) bool {
+		_, _ = Decode(reg, junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: call frames round trip for arbitrary ids, methods, and
+// string/int argument vectors.
+func TestQuickCallRoundTrip(t *testing.T) {
+	reg := codec.NewRegistry()
+	f := func(id, target uint64, method string, sArgs []string, iArgs []int64) bool {
+		args := make([]any, 0, len(sArgs)+len(iArgs))
+		for _, s := range sArgs {
+			args = append(args, s)
+		}
+		for _, i := range iArgs {
+			args = append(args, i)
+		}
+		frame, err := EncodeCall(reg, &Call{ID: id, Target: target, Method: method, Args: args})
+		if err != nil {
+			return false
+		}
+		out, err := Decode(reg, frame)
+		if err != nil {
+			return false
+		}
+		c, ok := out.(*Call)
+		if !ok || c.ID != id || c.Target != target || c.Method != method || len(c.Args) != len(args) {
+			return false
+		}
+		for i := range args {
+			if c.Args[i] != args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

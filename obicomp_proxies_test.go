@@ -1,0 +1,196 @@
+package obiwan_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"obiwan"
+	"obiwan/examples/collabdoc/docmodel"
+)
+
+// These tests drive the obicomp-generated typed proxies (see
+// examples/collabdoc/docmodel/obiwan_gen.go) against a live deployment:
+// the generated code is not just compiled but exercised over both the
+// local (fault + LMI) and remote (RMI) invocation paths.
+
+func deployDoc(t *testing.T) (*obiwan.Site, *obiwan.Site, *docmodel.Document) {
+	t.Helper()
+	network := obiwan.NewMemNetwork(obiwan.Loopback)
+	nsrt, err := obiwan.NewRuntime(network, "ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nsrt.Close() })
+	if _, _, err := obiwan.ServeNameServer(nsrt); err != nil {
+		t.Fatal(err)
+	}
+	hub, err := obiwan.NewSite("hub", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	editor, err := obiwan.NewSite("editor", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = editor.Close() })
+
+	master := &docmodel.Document{Title: "Spec", Revision: 1}
+	intro := &docmodel.Section{Name: "Intro", Text: "one two three"}
+	if master.First, err = hub.NewRef(intro); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Bind("doc", master); err != nil {
+		t.Fatal(err)
+	}
+	return hub, editor, master
+}
+
+func TestGeneratedProxyLocalPath(t *testing.T) {
+	_, editor, _ := deployDoc(t)
+	proxy, err := docmodel.LookupDocument(editor, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proxy.Heading(); got != "Spec (rev 1)" {
+		t.Fatalf("heading: %q", got)
+	}
+	if !proxy.Ref().IsResolved() {
+		t.Fatal("local path should have replicated")
+	}
+	// Section access through the replica's ref, wrapped in the typed proxy.
+	d, err := obiwan.Deref[*docmodel.Document](proxy.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := docmodel.NewSectionProxy(d.First)
+	if got := sec.WordCount(); got != 3 {
+		t.Fatalf("word count: %d", got)
+	}
+	if got := sec.Render(); !strings.Contains(got, "## Intro") {
+		t.Fatalf("render: %q", got)
+	}
+}
+
+func TestGeneratedProxyRemotePath(t *testing.T) {
+	_, editor, master := deployDoc(t)
+	proxy, err := docmodel.LookupDocument(editor, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Ref().SetMode(obiwan.ModeRemote)
+	// A void method over RMI mutates the master directly.
+	proxy.Retitle("Spec v2")
+	if master.Title != "Spec v2" || master.Revision != 2 {
+		t.Fatalf("master after remote retitle: %+v", master)
+	}
+	if proxy.Ref().IsResolved() {
+		t.Fatal("remote path must not replicate")
+	}
+	if got := proxy.Heading(); got != "Spec v2 (rev 2)" {
+		t.Fatalf("remote heading: %q", got)
+	}
+}
+
+func TestGeneratedProxyErrorChannel(t *testing.T) {
+	// IBook-style (value, error) methods are exercised via the obicomp
+	// corpus in cmd/obicomp; here we check the infrastructure-error panic
+	// contract of void methods on a dead link.
+	network := obiwan.NewMemNetwork(obiwan.Loopback)
+	nsrt, err := obiwan.NewRuntime(network, "ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsrt.Close()
+	if _, _, err := obiwan.ServeNameServer(nsrt); err != nil {
+		t.Fatal(err)
+	}
+	hub, err := obiwan.NewSite("hub", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	editor, err := obiwan.NewSite("editor", network, obiwan.WithNameServer("ns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer editor.Close()
+	if err := hub.Bind("doc", &docmodel.Document{Title: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := docmodel.LookupDocument(editor, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	network.Disconnect("editor", "hub")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("void proxy method on dead link must panic")
+		}
+		if !strings.Contains(r.(string), "obiwan proxy: Document.Retitle") {
+			t.Fatalf("panic payload: %v", r)
+		}
+	}()
+	proxy.Retitle("unreachable")
+}
+
+func TestConvertHelper(t *testing.T) {
+	// The Convert primitive behind generated proxies handles both native
+	// and wire-canonical inputs.
+	if v, err := obiwan.Convert[int](int64(7)); err != nil || v != 7 {
+		t.Fatalf("int64→int: %v %v", v, err)
+	}
+	if v, err := obiwan.Convert[int](7); err != nil || v != 7 {
+		t.Fatalf("int→int: %v %v", v, err)
+	}
+	if v, err := obiwan.Convert[[]string]([]any{"a", "b"}); err != nil || len(v) != 2 {
+		t.Fatalf("[]any→[]string: %v %v", v, err)
+	}
+	if _, err := obiwan.Convert[int]("nope"); err == nil {
+		t.Fatal("string→int must fail")
+	}
+	var nilErr error
+	if _, err := obiwan.Convert[int](nilErr); err == nil {
+		t.Fatal("nil→int must fail")
+	}
+}
+
+func TestErrSentinelsExported(t *testing.T) {
+	if obiwan.ErrConflict == nil || obiwan.ErrTxnConflict == nil {
+		t.Fatal("sentinels missing")
+	}
+	if errors.Is(obiwan.ErrConflict, obiwan.ErrTxnConflict) {
+		t.Fatal("sentinels must be distinct")
+	}
+}
+
+func TestGeneratedLifecycleHelpers(t *testing.T) {
+	hub, editor, master := deployDoc(t)
+	proxy, err := docmodel.LookupDocument(editor, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obiwan.Deref[*docmodel.Document](proxy.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Title = "edited via helper"
+	if err := proxy.Put(editor); err != nil {
+		t.Fatal(err)
+	}
+	if master.Title != "edited via helper" {
+		t.Fatalf("master: %q", master.Title)
+	}
+	master.Title = "changed at hub"
+	if err := hub.MarkUpdated(master); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Refresh(editor); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "changed at hub" {
+		t.Fatalf("after refresh: %q", doc.Title)
+	}
+}

@@ -1,0 +1,268 @@
+// Package obiwan is the public API of the OBIWAN middleware platform — a
+// from-scratch Go implementation of "Incremental Replication for Mobility
+// Support in OBIWAN" (Veiga & Ferreira, ICDCS 2002).
+//
+// OBIWAN lets a distributed application decide, at run time, how each
+// object is invoked: remotely over RMI, or locally on a replica that is
+// brought over on demand. Object graphs replicate incrementally: fetching
+// an object ships proxy stand-ins for everything it references, and
+// invoking through such a reference raises an object fault that demands
+// the next object — or the next batch, or the next cluster — after which
+// the reference is spliced to the fresh replica and later calls are
+// direct.
+//
+// # Model
+//
+// An OBIWAN object is a pointer to a struct registered with RegisterType.
+// Objects reference each other only through *Ref fields; everything else
+// in the struct is the object's replicable state:
+//
+//	type Doc struct {
+//		Title string
+//		Next  *obiwan.Ref
+//	}
+//	func (d *Doc) Read() string { return d.Title }
+//
+//	func init() { obiwan.MustRegisterType("app.Doc", (*Doc)(nil)) }
+//
+// A Site is one process. The master site builds the graph and binds its
+// root in a name server; a client site looks the root up and works with
+// it — over RMI, on replicas, or mixed:
+//
+//	server, _ := obiwan.NewSite("server", network, obiwan.WithNameServer("ns"))
+//	head := &Doc{Title: "hello"}
+//	_ = server.Bind("docs/head", head)
+//
+//	mobile, _ := obiwan.NewSite("mobile", network, obiwan.WithNameServer("ns"))
+//	ref, _ := mobile.Lookup("docs/head")
+//	out, _ := ref.Invoke("Read")          // faults the object in, invokes locally
+//	doc, _ := obiwan.Deref[*Doc](ref)     // typed access, no indirection
+//
+// Replication granularity is a per-demand decision (GetSpec): one object
+// at a time, a batch of k (each individually updatable), a cluster of k
+// (one proxy pair, updated as a unit), or the whole transitive closure.
+//
+// Mobility is first-class: replicas keep working while disconnected,
+// modifications are tracked, and Site.SyncDirty / the txn package push
+// them back after reconnection.
+package obiwan
+
+import (
+	"fmt"
+	"reflect"
+
+	"obiwan/internal/consistency"
+	"obiwan/internal/dissemination"
+	"obiwan/internal/heap"
+	"obiwan/internal/invoke"
+	"obiwan/internal/nameserver"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/platgc"
+	"obiwan/internal/qos"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/site"
+	"obiwan/internal/transport"
+	"obiwan/internal/txn"
+)
+
+// Core types.
+type (
+	// Site is one OBIWAN process: heap, RMI runtime, replication engine.
+	Site = site.Site
+	// SiteOption configures NewSite.
+	SiteOption = site.Option
+	// Ref is the reference slot objects hold in place of direct pointers
+	// to other OBIWAN objects.
+	Ref = objmodel.Ref
+	// OID is a global object identity.
+	OID = objmodel.OID
+	// InvocationMode selects RMI vs replica vs automatic per reference.
+	InvocationMode = objmodel.InvocationMode
+	// GetSpec parameterizes a replication demand (mode, batch, depth,
+	// clustering).
+	GetSpec = replication.GetSpec
+	// ReplicationMode is incremental or transitive closure.
+	ReplicationMode = replication.Mode
+	// Descriptor names a remotely reachable object (what name servers
+	// store).
+	Descriptor = replication.Descriptor
+	// Addr is a transport endpoint address.
+	Addr = transport.Addr
+	// Network is the message transport between sites.
+	Network = transport.Network
+	// LinkProfile describes a simulated link's quality of service.
+	LinkProfile = netsim.Profile
+	// RemoteRef is a low-level RMI object reference.
+	RemoteRef = rmi.RemoteRef
+	// RemoteError is an error raised by the remote side of a call.
+	RemoteError = rmi.RemoteError
+	// HeapEntry is per-object heap metadata (role, version, provider).
+	HeapEntry = heap.Entry
+	// GCStats is the platform-object (proxy) lifecycle ledger snapshot.
+	GCStats = platgc.Stats
+	// TxnManager coordinates optimistic transactions at a site.
+	TxnManager = txn.Manager
+	// Txn is one optimistic, disconnection-tolerant transaction.
+	Txn = txn.Txn
+	// Publisher disseminates master updates to subscribed sites.
+	Publisher = dissemination.Publisher
+	// Applier applies disseminated updates to local replicas.
+	Applier = dissemination.Applier
+	// Update is one disseminated state change.
+	Update = dissemination.Update
+	// QoSMonitor estimates per-peer link quality from RMI round trips.
+	QoSMonitor = qos.Monitor
+	// NameServer is the registry server type (embed or run standalone).
+	NameServer = nameserver.Server
+	// Prefetcher resolves object faults in the background, hiding
+	// incremental replication's latency (the paper's footnote 3).
+	Prefetcher = replication.Prefetcher
+)
+
+// Invocation modes (per Ref, switchable at run time).
+const (
+	// ModeLocal replicates on first use and invokes locally (default).
+	ModeLocal = objmodel.ModeLocal
+	// ModeRemote always invokes the master over RMI.
+	ModeRemote = objmodel.ModeRemote
+	// ModeAuto lets the QoS crossover model decide.
+	ModeAuto = objmodel.ModeAuto
+)
+
+// Replication modes.
+const (
+	// Incremental ships the demanded object plus at most Batch-1 more.
+	Incremental = replication.Incremental
+	// Transitive ships the whole reachability graph in one demand.
+	Transitive = replication.Transitive
+)
+
+// DefaultSpec replicates one object per fault — the paper's most flexible
+// alternative.
+var DefaultSpec = replication.DefaultSpec
+
+// Simulated link profiles (see netsim for the model).
+var (
+	// Loopback models colocated processes.
+	Loopback = netsim.Loopback
+	// LAN10 is the paper's 10 Mb/s Ethernet testbed (null RMI ≈ 2.8 ms).
+	LAN10 = netsim.LAN10
+	// WAN models a wide-area Internet path of the era.
+	WAN = netsim.WAN
+	// Wireless models a GPRS-era mobile link: thin, slow, lossy.
+	Wireless = netsim.Wireless
+)
+
+// NewSite starts an OBIWAN site named name on network.
+var NewSite = site.New
+
+// Site options.
+var (
+	// WithSiteID fixes the OID prefix minted by the site.
+	WithSiteID = site.WithSiteID
+	// WithNameServer points the site at a name server address.
+	WithNameServer = site.WithNameServer
+	// WithPolicy installs a master-side consistency policy.
+	WithPolicy = site.WithPolicy
+	// WithInvalidation enables invalidation-based consistency.
+	WithInvalidation = site.WithInvalidation
+	// WithLease enables client-side replica leases.
+	WithLease = site.WithLease
+	// WithDefaultSpec sets the spec Lookup uses.
+	WithDefaultSpec = site.WithDefaultSpec
+	// WithFetchFactor tunes the ModeAuto crossover.
+	WithFetchFactor = site.WithFetchFactor
+	// WithCallTimeout sets the RMI call timeout.
+	WithCallTimeout = site.WithCallTimeout
+)
+
+// Consistency policies (install with WithPolicy).
+type (
+	// LastWriterWins accepts every update (the paper's default).
+	LastWriterWins = consistency.LastWriterWins
+	// FirstWriterWins rejects updates based on stale versions.
+	FirstWriterWins = consistency.FirstWriterWins
+)
+
+// ErrConflict is returned when a consistency policy rejects an update.
+var ErrConflict = consistency.ErrConflict
+
+// ErrTxnConflict is returned by Txn.Commit / TxnManager.FlushPending when a
+// transaction was rolled back; it wraps the rejecting policy's error.
+var ErrTxnConflict = txn.ErrConflict
+
+// Networks.
+var (
+	// NewMemNetwork builds the in-process simulated network with the given
+	// default link profile.
+	NewMemNetwork = transport.NewMemNetwork
+	// NewTCPNetwork builds the real TCP transport.
+	NewTCPNetwork = transport.NewTCPNetwork
+)
+
+// MemNetwork is the simulated in-process network (profile switches,
+// disconnection, partitions).
+type MemNetwork = transport.MemNetwork
+
+// RegisterType registers an application object type under a stable wire
+// name. Call it once per type, before any replication (an init function is
+// the conventional place).
+func RegisterType(name string, sample any) error {
+	return objmodel.RegisterType(name, sample)
+}
+
+// MustRegisterType is RegisterType but panics on error.
+func MustRegisterType(name string, sample any) {
+	objmodel.MustRegisterType(name, sample)
+}
+
+// Deref resolves ref — replicating its target on first use — and asserts
+// it to T: typed, indirection-free access to the replica.
+func Deref[T any](ref *Ref) (T, error) {
+	return objmodel.Deref[T](ref)
+}
+
+// ServeNameServer exports a fresh name server on rt (use a dedicated
+// runtime so it lands at the well-known id) and returns it.
+func ServeNameServer(rt *rmi.Runtime) (*NameServer, RemoteRef, error) {
+	return nameserver.Serve(rt)
+}
+
+// NewRuntime builds a bare RMI runtime — needed only to host a standalone
+// name server in-process; sites build their own.
+var NewRuntime = rmi.NewRuntime
+
+// NewTxnManager builds a transaction manager over a site.
+func NewTxnManager(s *Site) *TxnManager {
+	return txn.NewManager(s.Engine())
+}
+
+// NewPublisher builds an update publisher over a master site, delivering
+// through deliver (see dissemination.Deliver).
+func NewPublisher(s *Site, deliver dissemination.Deliver) *Publisher {
+	return dissemination.NewPublisher(s.Engine(), deliver)
+}
+
+// NewApplier builds a dissemination applier over a subscriber site.
+func NewApplier(s *Site) *Applier {
+	return dissemination.NewApplier(s.Engine())
+}
+
+// Convert adapts v — which may be a native Go value (local invocation) or
+// a canonical wire value (remote invocation: int64/uint64/float64/string/
+// []byte/[]any/map[string]any/*Struct) — to type T. It is the conversion
+// primitive obicomp-generated proxies use on invocation results.
+func Convert[T any](v any) (T, error) {
+	var zero T
+	rv, err := invoke.ConvertArg(v, reflect.TypeOf(&zero).Elem())
+	if err != nil {
+		return zero, err
+	}
+	out, ok := rv.Interface().(T)
+	if !ok {
+		return zero, fmt.Errorf("obiwan: cannot convert %T to %T", v, zero)
+	}
+	return out, nil
+}

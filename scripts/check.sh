@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh — the full local gate: format, vet, race tests, fuzz seeds,
+# a quick-scale experiment smoke run, and the examples.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" "$unformatted"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== experiment smoke run"
+go run ./cmd/obiwan-bench -exp all -quick -list 30 >/dev/null
+
+echo "== examples"
+for e in quickstart disconnected collabdoc worldgame adaptive; do
+	echo "   examples/$e"
+	go run "./examples/$e" >/dev/null
+done
+
+echo "all checks passed"
