@@ -1,0 +1,286 @@
+// Package chaos drives the full OBIWAN stack — transport, RMI, the
+// replication engine, and the site layer — through scripted network
+// failure scenarios: disconnections mid-demand, lost replies, random
+// outage/drop schedules over different object-graph shapes.
+//
+// The paper's defining scenario is a mobile host that disconnects in the
+// middle of a session and keeps working; this package turns that story
+// into deterministic, replayable tests. Every failure comes from a seeded
+// netsim.FaultSchedule, so a failing scenario reruns identically from its
+// seed, and schedule traces double as evidence that two runs saw the same
+// failure history.
+//
+// The package's contract, asserted by its test suite:
+//
+//   - every demand either completes (retries crossing the outage
+//     transparently) or fails typed with replication.ErrUnavailable;
+//   - no operation hangs (see Within);
+//   - no retried call is applied twice at the master (see Counter).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/site"
+	"obiwan/internal/transport"
+)
+
+// Node is the object type chaos scenarios replicate: a labelled payload
+// with outgoing references, general enough to shape chains (the
+// quickstart/disconnected examples), trees (collabdoc's sections), and
+// diamonds (shared substructure).
+type Node struct {
+	Label string
+	Data  []byte
+	Kids  []*objmodel.Ref
+}
+
+// Name returns the node's label (a convenient remote-invocable method).
+func (n *Node) Name() string { return n.Label }
+
+func init() {
+	objmodel.MustRegisterType("chaos.Node", (*Node)(nil))
+}
+
+// DefaultRetry is the policy chaos sites run with: deterministic (no
+// jitter), quick backoff, and enough attempts to cross the longest outage
+// the scenario generators script (RandomSchedule outages span at most a
+// handful of send attempts; rejected sends advance the schedule clock, so
+// each attempt is progress toward the scripted reconnect).
+func DefaultRetry() rmi.RetryPolicy {
+	return rmi.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 500 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0,
+	}
+}
+
+// World is one simulated deployment: a seeded in-memory network, the
+// sites running on it, and the fault schedules attached to its links.
+type World struct {
+	Seed int64
+	Net  *transport.MemNetwork
+
+	sites  []*site.Site
+	scheds []*netsim.FaultSchedule
+}
+
+// NewWorld creates a world whose link randomness (and, by convention, its
+// scenario randomness) derives from seed.
+func NewWorld(seed int64) *World {
+	return &World{Seed: seed, Net: transport.NewMemNetworkSeeded(netsim.Loopback, seed)}
+}
+
+// NewSite starts a site in this world with the chaos retry policy (an
+// explicit site.WithRetry in opts overrides it).
+func (w *World) NewSite(name string, opts ...site.Option) (*site.Site, error) {
+	opts = append([]site.Option{site.WithRetry(DefaultRetry())}, opts...)
+	s, err := site.New(name, w.Net, opts...)
+	if err != nil {
+		return nil, err
+	}
+	w.sites = append(w.sites, s)
+	return s, nil
+}
+
+// Close shuts every site down, newest first.
+func (w *World) Close() {
+	for i := len(w.sites) - 1; i >= 0; i-- {
+		_ = w.sites[i].Close()
+	}
+}
+
+// Schedule attaches a fault schedule to the directional link from→to and
+// records it for Trace comparison. It returns s for chaining.
+func (w *World) Schedule(from, to string, s *netsim.FaultSchedule) *netsim.FaultSchedule {
+	w.Net.SetFaultSchedule(transport.Addr(from), transport.Addr(to), s)
+	w.scheds = append(w.scheds, s)
+	return s
+}
+
+// Trace flattens the fired events of every attached schedule, in
+// attachment order. Two runs of the same scenario with the same seed must
+// produce equal traces — the suite's determinism assertion.
+func (w *World) Trace() []string {
+	var out []string
+	for i, s := range w.scheds {
+		for _, ev := range s.Trace() {
+			out = append(out, fmt.Sprintf("link%d:%s", i, ev))
+		}
+	}
+	return out
+}
+
+// ErrHung marks an operation that did not return within its watchdog
+// budget — the failure mode the suite exists to rule out.
+var ErrHung = errors.New("chaos: operation hung")
+
+// Within runs op under a watchdog: if op does not return within d, Within
+// returns ErrHung (the op goroutine is abandoned; tests treat ErrHung as
+// fatal, so the leak dies with the process).
+func Within(d time.Duration, op func() error) error {
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("%w: no result after %v", ErrHung, d)
+	}
+}
+
+// BuildChain registers n master nodes a→b→c… at s and returns them head
+// first — the list shape of the quickstart and disconnected examples.
+func BuildChain(s *site.Site, prefix string, n int) ([]*Node, error) {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Label: fmt.Sprintf("%s-%d", prefix, i), Data: []byte{byte(i)}}
+		if err := s.Register(nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		ref, err := s.NewRef(nodes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i].Kids = append(nodes[i].Kids, ref)
+	}
+	return nodes, nil
+}
+
+// BuildTree registers a complete tree of the given depth and fanout
+// (collabdoc's document/section shape) and returns its root and total
+// node count. Depth 1 is a single node.
+func BuildTree(s *site.Site, prefix string, depth, fanout int) (*Node, int, error) {
+	count := 0
+	var build func(level int, path string) (*Node, error)
+	build = func(level int, path string) (*Node, error) {
+		n := &Node{Label: fmt.Sprintf("%s-%s", prefix, path), Data: []byte(path)}
+		if err := s.Register(n); err != nil {
+			return nil, err
+		}
+		count++
+		if level < depth {
+			for i := 0; i < fanout; i++ {
+				kid, err := build(level+1, fmt.Sprintf("%s.%d", path, i))
+				if err != nil {
+					return nil, err
+				}
+				ref, err := s.NewRef(kid)
+				if err != nil {
+					return nil, err
+				}
+				n.Kids = append(n.Kids, ref)
+			}
+		}
+		return n, nil
+	}
+	root, err := build(1, "r")
+	if err != nil {
+		return nil, 0, err
+	}
+	return root, count, nil
+}
+
+// BuildDiamond registers the four-node diamond A→{B,C}→D — shared
+// substructure, so D is reached through two paths but must replicate once.
+// It returns [A, B, C, D].
+func BuildDiamond(s *site.Site, prefix string) ([]*Node, error) {
+	mk := func(tag string) (*Node, error) {
+		n := &Node{Label: prefix + "-" + tag, Data: []byte(tag)}
+		return n, s.Register(n)
+	}
+	a, err := mk("a")
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk("b")
+	if err != nil {
+		return nil, err
+	}
+	c, err := mk("c")
+	if err != nil {
+		return nil, err
+	}
+	d, err := mk("d")
+	if err != nil {
+		return nil, err
+	}
+	link := func(from, to *Node) error {
+		ref, err := s.NewRef(to)
+		if err != nil {
+			return err
+		}
+		from.Kids = append(from.Kids, ref)
+		return nil
+	}
+	for _, e := range []struct{ f, t *Node }{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := link(e.f, e.t); err != nil {
+			return nil, err
+		}
+	}
+	return []*Node{a, b, c, d}, nil
+}
+
+// WalkAll dereferences every reference reachable from root, re-walking
+// after typed unavailability (replica progress persists in the heap, and
+// every attempt advances any attached schedule toward its reconnect). It
+// returns the number of distinct nodes reached. Untyped errors — and
+// exceeding maxRounds — abort the walk.
+func WalkAll(root *Node, maxRounds int) (int, error) {
+	var lastErr error
+	for round := 0; round <= maxRounds; round++ {
+		visited := make(map[*Node]bool)
+		var walk func(n *Node) error
+		walk = func(n *Node) error {
+			if visited[n] {
+				return nil
+			}
+			visited[n] = true
+			for i, ref := range n.Kids {
+				kid, err := objmodel.Deref[*Node](ref)
+				if err != nil {
+					return fmt.Errorf("deref %s kid %d: %w", n.Label, i, err)
+				}
+				if err := walk(kid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		err := walk(root)
+		if err == nil {
+			return len(visited), nil
+		}
+		if !errors.Is(err, replication.ErrUnavailable) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("walk did not converge in %d rounds: %w", maxRounds, lastErr)
+}
+
+// Counter is an RMI service counting real executions: the server-side
+// proof that a retried (re-sent) call is never applied twice. Bump returns
+// the post-increment count, so a client issuing k calls must observe k —
+// any duplicate execution shows up as a skipped or repeated value. Atomic
+// because RMI dispatches each inbound call in its own goroutine.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Bump adds delta and returns the new count.
+func (c *Counter) Bump(delta int64) int64 { return c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }

@@ -1,0 +1,460 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/site"
+)
+
+// watchdog bounds every scenario: anything slower than this is a hang.
+const watchdog = 30 * time.Second
+
+func spec1() replication.GetSpec {
+	return replication.GetSpec{Mode: replication.Incremental, Batch: 1}
+}
+
+// runDisconnectDemandReconnect is the acceptance scenario: a client walks
+// a chain incrementally while the uplink goes down mid-walk, reconnects a
+// few sends later, and drops one more frame for good measure. It returns
+// the world's event trace and the client's retry count so the caller can
+// assert determinism across runs.
+func runDisconnectDemandReconnect(t *testing.T, seed int64) ([]string, uint64) {
+	t.Helper()
+	w := NewWorld(seed)
+	defer w.Close()
+	master, err := w.NewSite("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := w.NewSite("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := BuildChain(master, "doc", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := master.Export(nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send 1 on client→master is the connection preamble; the walk's Get
+	// calls follow. The outage lands mid-walk and the drop after it.
+	w.Schedule("client", "master", netsim.NewFaultSchedule(
+		netsim.FaultEvent{AtSend: 3, Action: netsim.ActDisconnect},
+		netsim.FaultEvent{AtSend: 6, Action: netsim.ActReconnect},
+		netsim.FaultEvent{AtSend: 9, Action: netsim.ActDrop},
+	))
+	ref := client.Engine().RefFromDescriptor(desc, spec1())
+
+	err = Within(watchdog, func() error {
+		root, err := objmodel.Deref[*Node](ref)
+		if err != nil {
+			return err
+		}
+		n, err := WalkAll(root, 50)
+		if err != nil {
+			return err
+		}
+		if n != 6 {
+			return fmt.Errorf("walk reached %d nodes, want 6", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if got := client.Heap().Len(); got != 6 {
+		t.Fatalf("seed %d: client heap %d, want 6", seed, got)
+	}
+	retries := client.Runtime().Stats().Retries
+	if retries == 0 {
+		t.Fatalf("seed %d: the outage must have been crossed by retries", seed)
+	}
+	return w.Trace(), retries
+}
+
+// TestDisconnectDemandReconnectDeterministic: the scripted
+// disconnect→demand→reconnect scenario succeeds, and running it twice
+// with the same seed produces the identical failure trace and the
+// identical retry count — same seed ⇒ same event history.
+func TestDisconnectDemandReconnectDeterministic(t *testing.T) {
+	trace1, retries1 := runDisconnectDemandReconnect(t, 42)
+	trace2, retries2 := runDisconnectDemandReconnect(t, 42)
+	if len(trace1) == 0 {
+		t.Fatal("scenario fired no fault events")
+	}
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("traces diverge:\nrun1: %v\nrun2: %v", trace1, trace2)
+	}
+	if retries1 != retries2 {
+		t.Fatalf("retry counts diverge: %d vs %d", retries1, retries2)
+	}
+}
+
+// TestRetriedCallsExecuteExactlyOnce: replies are lost on the wire, the
+// client re-sends, and the server-side counter proves no retried call
+// executed twice — every Bump(1) is observed exactly once, in order.
+func TestRetriedCallsExecuteExactlyOnce(t *testing.T) {
+	w := NewWorld(7)
+	defer w.Close()
+	master, err := w.NewSite("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lost replies are only recovered by re-sending, so the client needs a
+	// per-try budget.
+	p := DefaultRetry()
+	p.PerTryTimeout = 40 * time.Millisecond
+	client, err := w.NewSite("client", site.WithRetry(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &Counter{}
+	ref, err := master.Runtime().Export(counter, "chaos.Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The master→client link carries only replies here: lose the replies
+	// to the 2nd and 4th logical calls (the dedupe replays shift later
+	// send numbers by one each).
+	w.Schedule("master", "client", netsim.NewFaultSchedule(
+		netsim.FaultEvent{AtSend: 2, Action: netsim.ActDrop},
+		netsim.FaultEvent{AtSend: 4, Action: netsim.ActDrop},
+	))
+
+	const calls = 5
+	err = Within(watchdog, func() error {
+		for i := int64(1); i <= calls; i++ {
+			res, err := client.Runtime().Call(ref, "Bump", int64(1))
+			if err != nil {
+				return fmt.Errorf("call %d: %w", i, err)
+			}
+			if res[0] != i {
+				return fmt.Errorf("call %d observed count %v: a duplicate executed", i, res[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter.Value(); got != calls {
+		t.Fatalf("counter %d, want %d (exactly-once)", got, calls)
+	}
+	ss := master.Runtime().Stats()
+	if ss.DupsSuppressed != 2 {
+		t.Fatalf("duplicates suppressed = %d, want 2", ss.DupsSuppressed)
+	}
+	if cs := client.Runtime().Stats(); cs.Retries != 2 {
+		t.Fatalf("client retries = %d, want 2", cs.Retries)
+	}
+}
+
+// countingPolicy counts ApplyPut acceptances at the master. Atomic: the
+// hook runs in the server's dispatch goroutine, the test reads it after.
+type countingPolicy struct {
+	applies atomic.Int64
+}
+
+func (p *countingPolicy) ApplyPut(objmodel.OID, uint64, uint64) error {
+	p.applies.Add(1)
+	return nil
+}
+func (p *countingPolicy) ReplicaCreated(objmodel.OID, string, uint64) {}
+func (p *countingPolicy) MasterUpdated(objmodel.OID, uint64)          {}
+
+// TestPutAppliesOnceUnderReplyLoss: a put whose reply is lost is re-sent
+// and must not be applied twice — the master's consistency policy sees
+// exactly one ApplyPut and the master version advances exactly once.
+func TestPutAppliesOnceUnderReplyLoss(t *testing.T) {
+	w := NewWorld(11)
+	defer w.Close()
+	policy := &countingPolicy{}
+	master, err := w.NewSite("master", site.WithPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultRetry()
+	p.PerTryTimeout = 40 * time.Millisecond
+	client, err := w.NewSite("client", site.WithRetry(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := BuildChain(master, "doc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := master.Export(nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := client.Engine().RefFromDescriptor(desc, spec1())
+	replica, err := objmodel.Deref[*Node](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The schedule counts from attachment, so the next master→client send
+	// — the put's reply — is send 1. Lose it; the re-sent put must be
+	// suppressed, not re-applied.
+	w.Schedule("master", "client", netsim.NewFaultSchedule(
+		netsim.FaultEvent{AtSend: 1, Action: netsim.ActDrop},
+	))
+	replica.Data = []byte("edited")
+	if err := client.MarkUpdated(replica); err != nil {
+		t.Fatal(err)
+	}
+	if err := Within(watchdog, func() error { return client.Put(replica) }); err != nil {
+		t.Fatalf("put with lost reply: %v", err)
+	}
+	if got := policy.applies.Load(); got != 1 {
+		t.Fatalf("master applied the put %d times, want exactly 1", got)
+	}
+	if string(nodes[0].Data) != "edited" {
+		t.Fatalf("master data %q after put", nodes[0].Data)
+	}
+	if cs := client.Runtime().Stats(); cs.Retries != 1 {
+		t.Fatalf("client retries = %d, want 1", cs.Retries)
+	}
+}
+
+// TestPersistentPartitionFailsTypedThenHeals: with the link down for good,
+// a demand neither hangs nor returns an untyped error — it fails with
+// replication.ErrUnavailable once the retry policy is exhausted. After the
+// partition heals the same demand succeeds.
+func TestPersistentPartitionFailsTypedThenHeals(t *testing.T) {
+	w := NewWorld(3)
+	defer w.Close()
+	master, err := w.NewSite("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := w.NewSite("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := BuildChain(master, "doc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := master.Export(nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := client.Engine().RefFromDescriptor(desc, spec1())
+	head, err := objmodel.Deref[*Node](ref) // replicate the head while up
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.Net.Disconnect("client", "master")
+	err = Within(watchdog, func() error {
+		_, err := objmodel.Deref[*Node](head.Kids[0])
+		return err
+	})
+	if errors.Is(err, ErrHung) {
+		t.Fatal("demand against a partition must not hang")
+	}
+	if !errors.Is(err, replication.ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+
+	w.Net.Reconnect("client", "master")
+	err = Within(watchdog, func() error {
+		kid, err := objmodel.Deref[*Node](head.Kids[0])
+		if err != nil {
+			return err
+		}
+		if kid.Label != "doc-1" {
+			return fmt.Errorf("demanded %q, want doc-1", kid.Label)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("demand after heal: %v", err)
+	}
+}
+
+// graphShape describes one scenario topology.
+type graphShape struct {
+	name  string
+	count int
+	build func(s *site.Site) (*Node, error)
+}
+
+func shapes() []graphShape {
+	return []graphShape{
+		{"chain", 8, func(s *site.Site) (*Node, error) {
+			nodes, err := BuildChain(s, "c", 8)
+			if err != nil {
+				return nil, err
+			}
+			return nodes[0], nil
+		}},
+		{"tree", 7, func(s *site.Site) (*Node, error) {
+			root, n, err := BuildTree(s, "t", 3, 2)
+			if err != nil {
+				return nil, err
+			}
+			if n != 7 {
+				return nil, fmt.Errorf("tree has %d nodes, want 7", n)
+			}
+			return root, nil
+		}},
+		{"diamond", 4, func(s *site.Site) (*Node, error) {
+			nodes, err := BuildDiamond(s, "d")
+			if err != nil {
+				return nil, err
+			}
+			return nodes[0], nil
+		}},
+	}
+}
+
+// runShape walks one graph shape under a random (but seeded) fault
+// schedule and returns the fired-event trace.
+func runShape(t *testing.T, sh graphShape, seed int64) []string {
+	t.Helper()
+	w := NewWorld(seed)
+	defer w.Close()
+	master, err := w.NewSite("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := w.NewSite("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sh.build(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := master.Export(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Schedule("client", "master", netsim.RandomSchedule(seed, 30, 2, 3, 3))
+	ref := client.Engine().RefFromDescriptor(desc, spec1())
+
+	err = Within(watchdog, func() error {
+		rootReplica, err := derefWithRetry(ref, 50)
+		if err != nil {
+			return err
+		}
+		n, err := WalkAll(rootReplica, 50)
+		if err != nil {
+			return err
+		}
+		if n != sh.count {
+			return fmt.Errorf("walk reached %d nodes, want %d", n, sh.count)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s/seed%d: %v", sh.name, seed, err)
+	}
+	if got := client.Heap().Len(); got != sh.count {
+		t.Fatalf("%s/seed%d: heap %d, want %d (identity dedupe)", sh.name, seed, got, sh.count)
+	}
+	return w.Trace()
+}
+
+// derefWithRetry resolves ref, retrying typed unavailability (each
+// rejected attempt advances the schedule toward its scripted reconnect).
+func derefWithRetry(ref *objmodel.Ref, maxRounds int) (*Node, error) {
+	var lastErr error
+	for round := 0; round <= maxRounds; round++ {
+		n, err := objmodel.Deref[*Node](ref)
+		if err == nil {
+			return n, nil
+		}
+		if !errors.Is(err, replication.ErrUnavailable) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("deref did not converge: %w", lastErr)
+}
+
+// TestGraphShapesUnderRandomSchedules: every shape × seed combination
+// completes its walk under a seeded random outage/drop schedule (the
+// "%s replication over %s graph" matrix), and replaying a combination
+// yields the identical fault trace.
+func TestGraphShapesUnderRandomSchedules(t *testing.T) {
+	for _, sh := range shapes() {
+		for _, seed := range []int64{1, 2, 5} {
+			sh, seed := sh, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sh.name, seed), func(t *testing.T) {
+				trace1 := runShape(t, sh, seed)
+				trace2 := runShape(t, sh, seed)
+				if !reflect.DeepEqual(trace1, trace2) {
+					t.Fatalf("traces diverge:\nrun1: %v\nrun2: %v", trace1, trace2)
+				}
+			})
+		}
+	}
+}
+
+// TestSyncDirtyAfterOutage: the full mobile session — replicate, edit
+// offline behind a partition, fail typed, reconnect, SyncDirty — the
+// paper's §2.2 walkthrough under the chaos harness.
+func TestSyncDirtyAfterOutage(t *testing.T) {
+	w := NewWorld(19)
+	defer w.Close()
+	master, err := w.NewSite("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := w.NewSite("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := BuildChain(master, "doc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := master.Export(nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := client.Engine().RefFromDescriptor(desc, replication.GetSpec{Mode: replication.Transitive})
+	head, err := objmodel.Deref[*Node](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.Net.Disconnect("client", "master")
+	// Offline edits keep working on the replicas.
+	head.Data = []byte("offline edit")
+	if err := client.MarkUpdated(head); err != nil {
+		t.Fatal(err)
+	}
+	// Syncing while down fails typed, and the dirty mark survives.
+	if _, err := client.SyncDirty(); !errors.Is(err, replication.ErrUnavailable) {
+		t.Fatalf("sync while down: want ErrUnavailable, got %v", err)
+	}
+	if len(client.DirtyReplicas()) != 1 {
+		t.Fatal("failed sync must keep the replica dirty")
+	}
+
+	w.Net.Reconnect("client", "master")
+	synced, err := client.SyncDirty()
+	if err != nil || synced != 1 {
+		t.Fatalf("sync after reconnect: synced=%d err=%v", synced, err)
+	}
+	if string(nodes[0].Data) != "offline edit" {
+		t.Fatalf("master data %q after sync", nodes[0].Data)
+	}
+	if len(client.DirtyReplicas()) != 0 {
+		t.Fatal("synced replica must be clean")
+	}
+}

@@ -122,6 +122,7 @@ type Link struct {
 	profile  Profile
 	rng      *rand.Rand
 	down     bool
+	sched    *FaultSchedule
 	nextFree time.Time // when the wire finishes the current transmission
 	lastArr  time.Time // monotonic arrival clamp (FIFO)
 	stats    Stats
@@ -163,6 +164,23 @@ func (l *Link) Down() bool {
 	return l.down
 }
 
+// SetSchedule attaches a fault schedule to the link (nil detaches). The
+// schedule is consulted on every subsequent send attempt, before the loss
+// model, and may take the link down, bring it back, drop the message, or
+// delay it. A schedule must be attached to at most one link.
+func (l *Link) SetSchedule(s *FaultSchedule) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sched = s
+}
+
+// Schedule returns the attached fault schedule, or nil.
+func (l *Link) Schedule() *FaultSchedule {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sched
+}
+
 // Stats returns a snapshot of the link's counters.
 func (l *Link) Stats() Stats {
 	l.mu.Lock()
@@ -178,6 +196,22 @@ func (l *Link) Plan(size int) (time.Duration, error) {
 	now := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var extra time.Duration
+	if l.sched != nil {
+		d := l.sched.step(l.down)
+		if d.setDown {
+			l.down = d.down
+		}
+		if d.reject {
+			l.stats.Disconnected++
+			return 0, ErrDisconnected
+		}
+		if d.drop {
+			l.stats.Dropped++
+			return 0, ErrDropped
+		}
+		extra = d.extra
+	}
 	if l.down {
 		l.stats.Disconnected++
 		return 0, ErrDisconnected
@@ -193,7 +227,7 @@ func (l *Link) Plan(size int) (time.Duration, error) {
 	depart = depart.Add(l.profile.TransmitTime(size))
 	l.nextFree = depart
 
-	arrive := depart.Add(l.profile.Latency + l.profile.PerMessageOverhead)
+	arrive := depart.Add(l.profile.Latency + l.profile.PerMessageOverhead + extra)
 	if j := l.profile.Jitter; j > 0 {
 		arrive = arrive.Add(time.Duration(l.rng.Int63n(int64(j) + 1)))
 	}

@@ -548,7 +548,7 @@ func (e *Engine) Put(obj any) error {
 	}
 	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Put", req)
 	if err != nil {
-		return fmt.Errorf("replication: put %v: %w", entry.OID, err)
+		return fmt.Errorf("replication: put %v: %w", entry.OID, wrapUnavailable(err))
 	}
 	reply, ok := res[0].(*PutReply)
 	if !ok {
@@ -595,7 +595,7 @@ func (e *Engine) PutCluster(obj any) error {
 	}
 	res, err := e.rt.CallTimeout(prov, BulkTimeout, "PutCluster", creq)
 	if err != nil {
-		return fmt.Errorf("replication: put cluster %v: %w", root, err)
+		return fmt.Errorf("replication: put cluster %v: %w", root, wrapUnavailable(err))
 	}
 	versions, ok := res[0].([]any)
 	if !ok || len(versions) != len(members) {
@@ -687,7 +687,7 @@ func (e *Engine) Refresh(obj any) error {
 	}
 	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
 	if err != nil {
-		return fmt.Errorf("replication: refresh %v: %w", entry.OID, err)
+		return fmt.Errorf("replication: refresh %v: %w", entry.OID, wrapUnavailable(err))
 	}
 	payload, ok := res[0].(*Payload)
 	if !ok {

@@ -1,0 +1,35 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+// ErrUnavailable marks a replication operation that failed because the
+// provider site could not be reached: the link is disconnected, the
+// message was lost repeatedly, or the call deadline expired — after the
+// RMI retry policy was exhausted. It is the typed surface of the paper's
+// mobile scenario: the application can distinguish "the master said no"
+// (a bare error) from "the master cannot be asked right now" (wrapped
+// with ErrUnavailable), keep working on its replicas, and re-issue the
+// operation after reconnection.
+//
+// Test with errors.Is(err, replication.ErrUnavailable). The underlying
+// transport error stays in the chain, so errors.Is(err,
+// netsim.ErrDisconnected) etc. keep working too.
+var ErrUnavailable = errors.New("replication: provider unavailable")
+
+// wrapUnavailable tags connectivity failures with ErrUnavailable and
+// passes every other error through untouched.
+func wrapUnavailable(err error) error {
+	if err == nil {
+		return nil
+	}
+	if transport.IsTransient(err) || errors.Is(err, rmi.ErrTimeout) {
+		return fmt.Errorf("%w: %w", ErrUnavailable, err)
+	}
+	return err
+}

@@ -1,12 +1,18 @@
 package replication
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"obiwan/internal/heap"
+	"obiwan/internal/netsim"
 	"obiwan/internal/objmodel"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
 )
 
 // gnode is a general graph node for the property tests.
@@ -130,6 +136,88 @@ func TestQuickTransitiveReplicationIsomorphic(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRetrySite is newTestSite with an explicit client retry policy.
+func newRetrySite(t *testing.T, net transport.Network, name string, siteID uint16, p rmi.RetryPolicy) *testSite {
+	t.Helper()
+	rt, err := rmi.NewRuntime(net, transport.Addr(name), rmi.WithRetryPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	h := heap.New(siteID)
+	return &testSite{name: name, rt: rt, heap: h, engine: NewEngine(rt, h)}
+}
+
+// TestQuickIncrementalWalkUnderFaultsIsomorphic: the incremental walk of a
+// random graph stays correct when the client→master link runs a seeded
+// fault schedule. Every demand either completes (possibly after transparent
+// retries) or fails typed with ErrUnavailable; re-walking after failures
+// makes progress (the schedule always ends reconnected), and the final
+// replica graph is isomorphic to the master graph.
+func TestQuickIncrementalWalkUnderFaultsIsomorphic(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%10) + 2
+		net := transport.NewMemNetworkSeeded(netsim.Loopback, seed)
+		master := newTestSite(t, net, "s2", 2)
+		client := newRetrySite(t, net, "s1", 1, rmi.RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: 200 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			Multiplier:  2,
+		})
+		nodes := buildRandomGraph(t, master, rng, n)
+		desc, err := master.engine.ExportObject(nodes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetFaultSchedule("s1", "s2", netsim.RandomSchedule(seed, 40, 3, 4, 3))
+		cref := client.engine.RefFromDescriptor(desc, GetSpec{Mode: Incremental, Batch: 1})
+
+		// A walk step may exhaust its retries mid-outage; such failures must
+		// be typed, and re-walking must converge: every attempt (even a
+		// rejected one) advances the schedule clock toward the scripted
+		// reconnect, so the round bound is generous, not load-bearing.
+		var root *gnode
+		for round := 0; ; round++ {
+			root, err = objmodel.Deref[*gnode](cref)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrUnavailable) {
+				t.Logf("seed %d: root demand failed untyped: %v", seed, err)
+				return false
+			}
+			if round > 100 {
+				t.Logf("seed %d: root demand never recovered: %v", seed, err)
+				return false
+			}
+		}
+		for round := 0; ; round++ {
+			err = isomorphic(nodes[0], root)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrUnavailable) {
+				t.Logf("seed %d: walk failed untyped: %v", seed, err)
+				return false
+			}
+			if round > 200 {
+				t.Logf("seed %d: walk never recovered: %v", seed, err)
+				return false
+			}
+		}
+		if client.heap.Len() != n {
+			t.Logf("seed %d: heap %d want %d", seed, client.heap.Len(), n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -133,7 +133,7 @@ func (p *ProxyOut) demand(spec GetSpec) (any, objmodel.RemoteInvoker, error) {
 	}
 	res, err := p.eng.rt.CallTimeout(p.provider, BulkTimeout, "Get", &spec, string(p.eng.rt.Addr()))
 	if err != nil {
-		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, err)
+		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, wrapUnavailable(err))
 	}
 	payload, ok := res[0].(*Payload)
 	if !ok {
@@ -164,7 +164,7 @@ func (p *ProxyOut) remoteForEntry(e *heap.Entry) objmodel.RemoteInvoker {
 func (p *ProxyOut) RemoteInvoke(method string, args []any) ([]any, error) {
 	res, err := p.eng.rt.Call(p.provider, "Invoke", method, args)
 	if err != nil {
-		return nil, err
+		return nil, wrapUnavailable(err)
 	}
 	if len(res) == 0 || res[0] == nil {
 		return nil, nil
@@ -197,7 +197,7 @@ var _ objmodel.RemoteInvoker = (*remoteInvoker)(nil)
 func (ri *remoteInvoker) RemoteInvoke(method string, args []any) ([]any, error) {
 	res, err := ri.rt.Call(ri.provider, "Invoke", method, args)
 	if err != nil {
-		return nil, err
+		return nil, wrapUnavailable(err)
 	}
 	if len(res) == 0 || res[0] == nil {
 		return nil, nil

@@ -24,7 +24,13 @@ type clientConn struct {
 	dead    error               // non-nil once the connection failed
 }
 
-// getConn returns a live connection to addr, dialing if needed.
+// getConn returns a live connection to addr, dialing if needed. The
+// connection is self-healing: when it dies terminally (peer restart), the
+// next Send or Recv re-dials and replays the protocol preamble, so the
+// server can reject version mismatches before any call frame is
+// interpreted. Link-level disconnections are not healed this way — the
+// connection is kept and reused after the outage, per the paper's mobility
+// model.
 func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
 	rt.mu.Lock()
 	select {
@@ -40,7 +46,9 @@ func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
 	rt.mu.Unlock()
 
 	// Dial outside the lock: the simulated network may sleep.
-	conn, err := rt.network.Dial(rt.local, addr)
+	conn, err := transport.NewReconnecting(rt.network, rt.local, addr, func(c transport.Conn) error {
+		return c.Send(wire.EncodeHello())
+	})
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %q: %w", addr, err)
 	}
@@ -60,13 +68,6 @@ func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
 	}
 	rt.conns[addr] = c
 	rt.mu.Unlock()
-
-	// Open with the protocol preamble so the server can reject version
-	// mismatches before any call frame is interpreted.
-	if err := conn.Send(wire.EncodeHello()); err != nil {
-		c.shutdown(fmt.Errorf("rmi: hello to %q: %w", addr, err))
-		return nil, fmt.Errorf("rmi: hello to %q: %w", addr, err)
-	}
 
 	rt.wg.Add(1)
 	go c.readLoop()
@@ -168,6 +169,12 @@ func (rt *Runtime) CallTimeout(ref RemoteRef, timeout time.Duration, method stri
 	return results, err
 }
 
+// doCall drives one logical invocation through the retry policy. The call
+// id is allocated once and reused across attempts, so the server's
+// duplicate-suppression table can guarantee at-most-once execution no
+// matter how many times the frame is re-sent or on which connection it
+// arrives. timeout is the overall deadline for the invocation including
+// backoff waits.
 func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, error) {
 	if ref.IsZero() {
 		return nil, fmt.Errorf("rmi: call %s on zero reference", method)
@@ -178,74 +185,120 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 	rt.mu.Unlock()
 
 	frame, err := wire.EncodeCall(rt.reg, &wire.Call{
-		ID: id, Target: uint64(ref.ID), Method: method, Args: args,
+		ID: id, Target: uint64(ref.ID), Method: method, Client: rt.clientID, Args: args,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var (
-		conn *clientConn
-		ch   chan any
-	)
-	// A pooled connection may be dead (server restarted) before its read
-	// loop notices; one fresh dial is attempted in that case.
-	for attempt := 0; ; attempt++ {
-		conn, err = rt.getConn(ref.Addr)
-		if err != nil {
-			rt.stats.sendErrors.Add(1)
-			return nil, err
+	deadline := time.Now().Add(timeout)
+	timeoutErr := func() error {
+		return fmt.Errorf("%w: %s to %q after %v", ErrTimeout, method, ref.Addr, timeout)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= rt.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			rt.stats.retries.Add(1)
+			if !rt.sleepBackoff(attempt-1, deadline) {
+				select {
+				case <-rt.closed:
+					return nil, ErrRuntimeClosed
+				default:
+				}
+				return nil, fmt.Errorf("%w: %s to %q after %v (last error: %w)",
+					ErrTimeout, method, ref.Addr, timeout, lastErr)
+			}
 		}
-		if ch, err = conn.register(id); err != nil {
-			if attempt == 0 {
-				continue
+
+		conn, err := rt.getConn(ref.Addr)
+		if err != nil {
+			if errors.Is(err, ErrRuntimeClosed) {
+				return nil, err
 			}
 			rt.stats.sendErrors.Add(1)
+			lastErr = err
+			if transport.IsTransient(err) {
+				continue
+			}
 			return nil, err
+		}
+		ch, err := conn.register(id)
+		if err != nil {
+			// The pooled connection died before its read loop retired it;
+			// the pool has been (or is being) cleaned, so the next attempt
+			// dials fresh.
+			lastErr = err
+			continue
 		}
 		conn.sendMu.Lock()
 		sendErr := conn.conn.Send(frame)
 		conn.sendMu.Unlock()
-		if sendErr == nil {
-			break
-		}
-		conn.unregister(id)
-		if errors.Is(sendErr, transport.ErrClosed) {
-			// The peer went away: retire the connection. Retry once with a
-			// fresh dial (the server may have restarted).
-			conn.shutdown(fmt.Errorf("rmi: connection to %q lost: %w", ref.Addr, sendErr))
-			if attempt == 0 {
+		if sendErr != nil {
+			conn.unregister(id)
+			rt.stats.sendErrors.Add(1)
+			lastErr = fmt.Errorf("rmi: send %s to %q: %w", method, ref.Addr, sendErr)
+			if errors.Is(sendErr, transport.ErrClosed) {
+				// Terminally dead (redial inside the connection failed too):
+				// retire it so the next attempt starts from a fresh dial.
+				conn.shutdown(fmt.Errorf("rmi: connection to %q lost: %w", ref.Addr, sendErr))
 				continue
 			}
+			if transport.IsTransient(sendErr) {
+				// Link-level outage: the connection stays pooled — the
+				// paper's mobile host reuses it after reconnecting.
+				continue
+			}
+			return nil, lastErr
 		}
-		// Link-level disconnection keeps the connection pooled: the paper's
-		// mobile host expects to reuse it after reconnecting.
-		rt.stats.sendErrors.Add(1)
-		return nil, fmt.Errorf("rmi: send %s to %q: %w", method, ref.Addr, sendErr)
-	}
-	rt.stats.callsSent.Add(1)
-	rt.stats.bytesSent.Add(uint64(len(frame)))
+		rt.stats.callsSent.Add(1)
+		rt.stats.bytesSent.Add(uint64(len(frame)))
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case msg := <-ch:
-		switch m := msg.(type) {
-		case *wire.Reply:
-			return m.Results, nil
-		case *wire.Fault:
-			rt.stats.remoteFaults.Add(1)
-			return nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message}
-		case error:
-			return nil, m
-		default:
-			return nil, fmt.Errorf("rmi: unexpected response %T", msg)
+		// Wait for the reply: bounded by the per-try budget when the policy
+		// sets one (lost replies are then recovered by re-sending), always
+		// bounded by the overall deadline.
+		wait := time.Until(deadline)
+		perTry := false
+		if rt.retry.PerTryTimeout > 0 && rt.retry.PerTryTimeout < wait {
+			wait = rt.retry.PerTryTimeout
+			perTry = true
 		}
-	case <-timer.C:
-		conn.unregister(id)
-		return nil, fmt.Errorf("%w: %s to %q after %v", ErrTimeout, method, ref.Addr, timeout)
-	case <-rt.closed:
-		conn.unregister(id)
-		return nil, ErrRuntimeClosed
+		if wait <= 0 {
+			conn.unregister(id)
+			return nil, timeoutErr()
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case msg := <-ch:
+			timer.Stop()
+			switch m := msg.(type) {
+			case *wire.Reply:
+				return m.Results, nil
+			case *wire.Fault:
+				rt.stats.remoteFaults.Add(1)
+				return nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message}
+			case error:
+				// The connection failed while we were waiting.
+				lastErr = m
+				if transport.IsTransient(m) {
+					continue
+				}
+				return nil, m
+			default:
+				return nil, fmt.Errorf("rmi: unexpected response %T", msg)
+			}
+		case <-timer.C:
+			conn.unregister(id)
+			lastErr = timeoutErr()
+			if perTry {
+				continue
+			}
+			return nil, lastErr
+		case <-rt.closed:
+			timer.Stop()
+			conn.unregister(id)
+			return nil, ErrRuntimeClosed
+		}
 	}
+	return nil, fmt.Errorf("rmi: %s to %q failed after %d attempts: %w",
+		method, ref.Addr, rt.retry.MaxAttempts, lastErr)
 }

@@ -53,6 +53,7 @@ type options struct {
 	defaultSpec replication.GetSpec
 	fetchFactor float64
 	callTimeout time.Duration
+	retry       *rmi.RetryPolicy
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -88,6 +89,10 @@ func WithFetchFactor(f float64) Option { return func(o *options) { o.fetchFactor
 
 // WithCallTimeout sets the RMI per-call timeout.
 func WithCallTimeout(d time.Duration) Option { return func(o *options) { o.callTimeout = d } }
+
+// WithRetry sets the RMI retry policy for this site's outbound calls
+// (default rmi.DefaultRetryPolicy; use rmi.NoRetry to fail fast).
+func WithRetry(p rmi.RetryPolicy) Option { return func(o *options) { o.retry = &p } }
 
 // Site is one OBIWAN process.
 type Site struct {
@@ -125,10 +130,14 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	}
 
 	monitor := qos.NewMonitor()
-	rt, err := rmi.NewRuntime(network, transport.Addr(name),
+	rtOpts := []rmi.Option{
 		rmi.WithObserver(monitor.Observe),
 		rmi.WithCallTimeout(o.callTimeout),
-	)
+	}
+	if o.retry != nil {
+		rtOpts = append(rtOpts, rmi.WithRetryPolicy(*o.retry))
+	}
+	rt, err := rmi.NewRuntime(network, transport.Addr(name), rtOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("site %q: %w", name, err)
 	}

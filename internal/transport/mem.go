@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -27,13 +28,38 @@ type linkKey struct{ from, to Addr }
 
 // NewMemNetwork returns a network whose links default to profile p.
 func NewMemNetwork(p netsim.Profile) *MemNetwork {
+	return NewMemNetworkSeeded(p, 1)
+}
+
+// NewMemNetworkSeeded returns a network whose links default to profile p
+// and whose loss/jitter randomness derives from seed. Each directional link
+// gets its own RNG seeded by a stable hash of (seed, from, to), so the
+// random stream a link sees does not depend on the order links happen to be
+// created in — two runs of the same scenario with the same seed observe the
+// same drops and jitter per link.
+func NewMemNetworkSeeded(p netsim.Profile, seed int64) *MemNetwork {
 	return &MemNetwork{
 		defProf:   p,
-		seed:      1,
+		seed:      seed,
 		listeners: make(map[Addr]*memListener),
 		links:     make(map[linkKey]*netsim.Link),
 		downHosts: make(map[Addr]bool),
 	}
+}
+
+// linkSeed derives the deterministic RNG seed for the directional link
+// from→to.
+func (n *MemNetwork) linkSeed(from, to Addr) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(uint64(n.seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(from))
+	h.Write([]byte{0}) // separator: ("ab","c") ≠ ("a","bc")
+	h.Write([]byte(to))
+	return int64(h.Sum64())
 }
 
 // link returns (creating if needed) the directional link from→to.
@@ -47,8 +73,7 @@ func (n *MemNetwork) linkLocked(from, to Addr) *netsim.Link {
 	k := linkKey{from, to}
 	l, ok := n.links[k]
 	if !ok {
-		n.seed++
-		l = netsim.NewLink(n.defProf, n.seed)
+		l = netsim.NewLink(n.defProf, n.linkSeed(from, to))
 		n.links[k] = l
 	}
 	return l
@@ -104,6 +129,14 @@ func (n *MemNetwork) hostDown(a, b Addr) bool {
 // LinkStats returns traffic counters for the directional link from→to.
 func (n *MemNetwork) LinkStats(from, to Addr) netsim.Stats {
 	return n.link(from, to).Stats()
+}
+
+// SetFaultSchedule attaches a scripted fault schedule to the directional
+// link from→to (nil detaches). The schedule sees every send attempt on that
+// link, including the RMI connection preamble — account for it when keying
+// events by send count.
+func (n *MemNetwork) SetFaultSchedule(from, to Addr, s *netsim.FaultSchedule) {
+	n.link(from, to).SetSchedule(s)
 }
 
 // Listen binds a listener at local.

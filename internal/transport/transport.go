@@ -17,6 +17,10 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
+
+	"obiwan/internal/netsim"
 )
 
 // Addr identifies an endpoint. For MemNetwork it is a site name such as
@@ -69,6 +73,34 @@ type Network interface {
 	// Dial connects from local to remote. TCP implementations may ignore
 	// local; the simulated network uses it to select the link model.
 	Dial(local, remote Addr) (Conn, error)
+}
+
+// IsTransient classifies a transport-level error as retryable: the failure
+// is a property of the moment (a dropped frame, a link that is down, a peer
+// that is restarting) rather than of the request, so retrying the same
+// operation later can legitimately succeed. This is the paper's mobility
+// model made explicit: disconnection is an expected, recoverable state, not
+// a terminal fault. Fatal errors — oversized messages, protocol violations —
+// return false and must surface to the caller unchanged.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, netsim.ErrDropped) ||
+		errors.Is(err, netsim.ErrDisconnected) ||
+		errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		// All remaining net.Errors of interest (timeouts, refused or reset
+		// connections while a peer restarts) are worth a retry.
+		return true
+	}
+	return false
 }
 
 // validateSize rejects messages that exceed the framing limit.

@@ -66,10 +66,18 @@ const (
 )
 
 // Call is a request frame.
+//
+// Client identifies the calling runtime incarnation. Together with ID it
+// names one logical invocation across resends: a client retrying a call
+// (e.g. its reply was lost to a link outage) re-transmits the same
+// (Client, ID) pair — possibly on a fresh connection — and the server's
+// duplicate-suppression table guarantees the invocation executes at most
+// once. An empty Client opts out of suppression.
 type Call struct {
 	ID     uint64
 	Target uint64
 	Method string
+	Client string
 	Args   []any
 }
 
@@ -93,6 +101,7 @@ func EncodeCall(reg *codec.Registry, c *Call) ([]byte, error) {
 	e.WriteUvarint(c.ID)
 	e.WriteUvarint(c.Target)
 	e.WriteString(c.Method)
+	e.WriteString(c.Client)
 	e.WriteUvarint(uint64(len(c.Args)))
 	for i, a := range c.Args {
 		if err := e.Value(reg, a); err != nil {
@@ -144,6 +153,9 @@ func Decode(reg *codec.Registry, frame []byte) (any, error) {
 		}
 		if c.Method, err = d.ReadString(); err != nil {
 			return nil, fmt.Errorf("wire: call method: %w", err)
+		}
+		if c.Client, err = d.ReadString(); err != nil {
+			return nil, fmt.Errorf("wire: call client: %w", err)
 		}
 		n, err := d.ReadUvarint()
 		if err != nil {

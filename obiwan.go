@@ -176,7 +176,27 @@ var (
 	WithFetchFactor = site.WithFetchFactor
 	// WithCallTimeout sets the RMI call timeout.
 	WithCallTimeout = site.WithCallTimeout
+	// WithRetry sets the RMI retry policy for the site's outbound calls.
+	WithRetry = site.WithRetry
 )
+
+// RetryPolicy bounds how outbound RMI calls are retried: attempt count,
+// exponential backoff (with jitter and ceiling), and optional per-try
+// timeout, all under the overall call timeout.
+type RetryPolicy = rmi.RetryPolicy
+
+// Retry policy constructors (install with WithRetry).
+var (
+	// DefaultRetryPolicy is the policy sites run with unless overridden.
+	DefaultRetryPolicy = rmi.DefaultRetryPolicy
+	// NoRetry fails calls fast on the first transient error.
+	NoRetry = rmi.NoRetry
+)
+
+// ErrUnavailable marks a demand/put/refresh that exhausted its retries
+// against an unreachable provider — the signal to keep working on local
+// replicas and SyncDirty after reconnection.
+var ErrUnavailable = replication.ErrUnavailable
 
 // Consistency policies (install with WithPolicy).
 type (
