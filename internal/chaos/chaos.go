@@ -92,6 +92,20 @@ func (w *World) NewSite(name string, opts ...site.Option) (*site.Site, error) {
 	return s, nil
 }
 
+// NewDurableSite starts a crash-durable site journaling to dir. Starting
+// it again over the same dir after Kill (or Close) is the restart path:
+// the new incarnation recovers the old one's masters, dirty replicas,
+// exports, and name bindings from the WAL.
+func (w *World) NewDurableSite(name, dir string, opts ...site.Option) (*site.Site, error) {
+	return w.NewSite(name, append(opts, site.WithDurability(dir))...)
+}
+
+// Kill hard-stops a site in place — the process-crash analogue of a link
+// fault: in-flight calls against it fail, nothing is flushed, and a
+// durable site's WAL directory is left exactly as the crash left it.
+// Close remains safe to call afterwards (it is a no-op).
+func (w *World) Kill(s *site.Site) { s.Kill() }
+
 // Close shuts every site down, newest first.
 func (w *World) Close() {
 	for i := len(w.sites) - 1; i >= 0; i-- {

@@ -69,14 +69,19 @@ func Serve(rt *rmi.Runtime) (*Server, rmi.RemoteRef, error) {
 	return s, ref, nil
 }
 
-// Bind registers d under name; fails if the name is taken.
+// Bind registers d under name; fails if the name is taken by ANOTHER
+// site. The owning site may bind again: a host that crashed and restarted
+// from its WAL re-registers the names it already holds, and refusing it
+// as a duplicate would orphan the binding forever (the dead incarnation
+// can never unbind). Ownership is judged by the provider address — the
+// stable site identity that survives restarts.
 func (s *Server) Bind(name string, d *replication.Descriptor) error {
 	if name == "" || d == nil {
 		return fmt.Errorf("nameserver: empty name or descriptor")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.entries[name]; ok {
+	if existing, ok := s.entries[name]; ok && existing.Provider.Addr != d.Provider.Addr {
 		return fmt.Errorf("%w: %q", ErrAlreadyBound, name)
 	}
 	s.entries[name] = *d

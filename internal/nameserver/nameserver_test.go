@@ -36,8 +36,12 @@ func newPair(t *testing.T) (*Server, *Client) {
 }
 
 func desc(oid uint64) replication.Descriptor {
+	return descAt("s2", oid)
+}
+
+func descAt(addr transport.Addr, oid uint64) replication.Descriptor {
 	return replication.Descriptor{
-		Provider: rmi.RemoteRef{Addr: "s2", ID: rmi.ObjID(oid), Iface: "obiwan.IProvideRemote"},
+		Provider: rmi.RemoteRef{Addr: addr, ID: rmi.ObjID(oid), Iface: "obiwan.IProvideRemote"},
 		OID:      oid,
 		TypeName: "test.doc",
 	}
@@ -63,7 +67,8 @@ func TestBindConflict(t *testing.T) {
 	if err := c.Bind("x", desc(1)); err != nil {
 		t.Fatal(err)
 	}
-	err := c.Bind("x", desc(2))
+	// A different site may not steal the name.
+	err := c.Bind("x", descAt("s3", 2))
 	var re *rmi.RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("want remote error, got %v", err)
@@ -75,6 +80,25 @@ func TestBindConflict(t *testing.T) {
 	got, err := c.Lookup("x")
 	if err != nil || got.OID != 2 {
 		t.Fatalf("after rebind: %+v %v", got, err)
+	}
+}
+
+// TestBindOwnerCanRebind covers the restart path: a site that crashed and
+// recovered re-binds names it already owns. The provider address is the
+// stable site identity, so Bind from the same address replaces instead of
+// failing ErrAlreadyBound (the dead incarnation could never unbind).
+func TestBindOwnerCanRebind(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Bind("x", desc(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The reborn owner's proxy-in may sit at a different object id.
+	if err := c.Bind("x", desc(9)); err != nil {
+		t.Fatalf("owner re-bind after restart: %v", err)
+	}
+	got, err := c.Lookup("x")
+	if err != nil || got.OID != 9 {
+		t.Fatalf("after owner re-bind: %+v %v", got, err)
 	}
 }
 

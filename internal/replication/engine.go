@@ -89,22 +89,25 @@ type Engine struct {
 	observer  EventObserver
 	gc        platgc.Accountant
 
-	mu        sync.Mutex
-	proxyIns  map[objmodel.OID]rmi.RemoteRef  // exported proxy-in per object
-	clusters  map[objmodel.OID][]objmodel.OID // cluster root → member OIDs (client side)
-	inCluster map[objmodel.OID]objmodel.OID   // member → cluster root (client side)
+	mu          sync.Mutex
+	journal     Journal                         // durability hooks (nil: in-memory site)
+	appliedPuts map[objmodel.OID]appliedPut     // exactly-once guard per master
+	proxyIns    map[objmodel.OID]rmi.RemoteRef  // exported proxy-in per object
+	clusters    map[objmodel.OID][]objmodel.OID // cluster root → member OIDs (client side)
+	inCluster   map[objmodel.OID]objmodel.OID   // member → cluster root (client side)
 }
 
 // NewEngine builds the replication engine for one site.
 func NewEngine(rt *rmi.Runtime, h *heap.Heap, opts ...Option) *Engine {
 	e := &Engine{
-		rt:        rt,
-		heap:      h,
-		reg:       rt.Registry(),
-		policy:    acceptAll{},
-		proxyIns:  make(map[objmodel.OID]rmi.RemoteRef),
-		clusters:  make(map[objmodel.OID][]objmodel.OID),
-		inCluster: make(map[objmodel.OID]objmodel.OID),
+		rt:          rt,
+		heap:        h,
+		reg:         rt.Registry(),
+		policy:      acceptAll{},
+		appliedPuts: make(map[objmodel.OID]appliedPut),
+		proxyIns:    make(map[objmodel.OID]rmi.RemoteRef),
+		clusters:    make(map[objmodel.OID][]objmodel.OID),
+		inCluster:   make(map[objmodel.OID]objmodel.OID),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -147,7 +150,14 @@ func (e *Engine) getCrossover() Crossover {
 
 // RegisterMaster adds obj to this site's heap as a master object.
 func (e *Engine) RegisterMaster(obj any) (*heap.Entry, error) {
-	return e.heap.AddMaster(obj)
+	entry, err := e.heap.AddMaster(obj)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.journalMaster(entry); err != nil {
+		return nil, err
+	}
+	return entry, nil
 }
 
 // NewRef returns a Ref bound to target, registering target as a master if
@@ -160,6 +170,9 @@ func (e *Engine) NewRef(target any) (*objmodel.Ref, error) {
 		var err error
 		entry, err = e.heap.AddMaster(target)
 		if err != nil {
+			return nil, err
+		}
+		if err := e.journalMaster(entry); err != nil {
 			return nil, err
 		}
 	}
@@ -183,6 +196,15 @@ func (e *Engine) ExportObject(obj any) (Descriptor, error) {
 		var err error
 		entry, err = e.heap.AddMaster(obj)
 		if err != nil {
+			return Descriptor{}, err
+		}
+	}
+	// Journal on every export, not just fresh registration: exporting is
+	// a publish point, and reference wiring done since Register (NewRef
+	// mutates the parent without a version bump) must be durable before
+	// the object becomes reachable.
+	if entry.Role == heap.Master {
+		if err := e.journalMaster(entry); err != nil {
 			return Descriptor{}, err
 		}
 	}
@@ -230,15 +252,23 @@ func (e *Engine) exportProxyIn(entry *heap.Entry) (rmi.RemoteRef, error) {
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if existing, ok := e.proxyIns[entry.OID]; ok {
 		// Lost a race; keep the winner and withdraw ours.
+		e.mu.Unlock()
 		e.rt.Unexport(ref.ID)
 		e.gc.ProxyInReused()
 		return existing, nil
 	}
 	e.proxyIns[entry.OID] = ref
 	e.gc.ProxyInExported()
+	e.mu.Unlock()
+
+	// Journal outside e.mu (see journal.go lock-ordering contract). A
+	// racing duplicate record is harmless: replay is last-wins and both
+	// name the same id.
+	if err := e.journalProxyIn(entry.OID, ref.ID); err != nil {
+		return rmi.RemoteRef{}, err
+	}
 	return ref, nil
 }
 
@@ -410,6 +440,9 @@ func (e *Engine) materialize(p *Payload) (any, error) {
 			existing.SetVersion(rec.Version)
 			existing.Touch(now)
 			existing.SetDirty(false)
+			if err := e.journalCleanReplica(existing.OID, rec.Version); err != nil {
+				return nil, err
+			}
 			touched = append(touched, existing.Obj)
 			continue
 		}
@@ -556,6 +589,9 @@ func (e *Engine) Put(obj any) error {
 	}
 	entry.SetVersion(reply.NewVersion)
 	entry.SetDirty(false)
+	if err := e.journalCleanReplica(entry.OID, reply.NewVersion); err != nil {
+		return err
+	}
 	e.emit(Event{Kind: EventPutShipped, OID: entry.OID, Version: reply.NewVersion})
 	return nil
 }
@@ -603,10 +639,15 @@ func (e *Engine) PutCluster(obj any) error {
 	}
 	for i, m := range members {
 		if me, ok := e.heap.Get(m); ok {
+			var nv uint64
 			if v, ok := versions[i].(uint64); ok {
 				me.SetVersion(v)
+				nv = v
 			}
 			me.SetDirty(false)
+			if err := e.journalCleanReplica(m, nv); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -649,6 +690,19 @@ func (e *Engine) applyPut(req *PutRequest) (*PutReply, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", heap.ErrUnknownObject, req.OID)
 	}
+	// Exactly-once across master restarts: the rmi dedupe table died with
+	// the previous life, so a retried put can reach a reborn master as a
+	// "new" call. The journaled (base, checksum) pair identifies it; hand
+	// back the recorded reply instead of applying twice.
+	crc := stateCRC(req.State)
+	e.mu.Lock()
+	if ap, ok := e.appliedPuts[entry.OID]; ok && ap.base == req.BaseVersion && ap.crc == crc {
+		v := ap.version
+		e.mu.Unlock()
+		e.emit(Event{Kind: EventPutApplied, OID: entry.OID, Version: v})
+		return &PutReply{NewVersion: v}, nil
+	}
+	e.mu.Unlock()
 	if err := e.getPolicy().ApplyPut(entry.OID, entry.Version(), req.BaseVersion); err != nil {
 		return nil, err
 	}
@@ -660,6 +714,12 @@ func (e *Engine) applyPut(req *PutRequest) (*PutReply, error) {
 		return nil, err
 	}
 	v := entry.BumpVersion()
+	e.mu.Lock()
+	e.appliedPuts[entry.OID] = appliedPut{base: req.BaseVersion, crc: crc, version: v}
+	e.mu.Unlock()
+	if err := e.journalMaster(entry); err != nil {
+		return nil, err
+	}
 	e.getPolicy().MasterUpdated(entry.OID, v)
 	e.emit(Event{Kind: EventPutApplied, OID: entry.OID, Version: v})
 	return &PutReply{NewVersion: v}, nil
@@ -709,11 +769,14 @@ func (e *Engine) MarkUpdated(obj any) error {
 	}
 	if entry.Role == heap.Master {
 		v := entry.BumpVersion()
+		if err := e.journalMaster(entry); err != nil {
+			return err
+		}
 		e.getPolicy().MasterUpdated(entry.OID, v)
 		return nil
 	}
 	entry.SetDirty(true)
-	return nil
+	return e.journalDirtyReplica(entry)
 }
 
 // getPolicy returns the current consistency policy.

@@ -1,0 +1,302 @@
+package replication
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"obiwan/internal/heap"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/rmi"
+)
+
+// The journal is the engine's durability hook surface. A site that opened
+// a WAL installs one; the engine then reports every mutation that must
+// survive a crash *before* acknowledging it, write-ahead style: master
+// state changes (registration, applied puts, local updates), replica-side
+// dirty edits and their eventual clean-up, and proxy-in exports (so a
+// reborn site can re-export at the same object ids and keep remote
+// provider references valid). A journal error propagates to the caller —
+// a durable site refuses mutations it cannot make durable.
+//
+// Lock ordering: the engine NEVER calls the journal while holding e.mu or
+// an entry's state lock, so the journal may freely call back into the
+// engine (capture, frontier building) and the heap.
+
+// Journal records engine mutations durably. Implementations must be safe
+// for concurrent use.
+type Journal interface {
+	// MasterChanged records a master object's full current state. Called
+	// on registration and after every version bump. Records are
+	// last-state-wins: replay keeps only the newest per OID.
+	MasterChanged(rec JournalMaster) error
+	// ReplicaDirtied records a replica's locally edited state so an
+	// offline edit survives a crash and can be put back after rebirth.
+	ReplicaDirtied(rec JournalReplica) error
+	// ReplicaCleaned retracts a dirty record: the edit reached its master
+	// (or was overwritten by a refresh) and must not be replayed.
+	ReplicaCleaned(oid objmodel.OID, newVersion uint64) error
+	// ProxyInExported records the RMI object id serving oid, so recovery
+	// re-exports the proxy-in at the same id.
+	ProxyInExported(oid objmodel.OID, id uint64) error
+}
+
+// JournalMaster is the durable image of one master object.
+type JournalMaster struct {
+	OID      uint64
+	TypeName string
+	Version  uint64
+	State    []byte
+	Frontier []FrontierRef
+
+	// The applied-put dedupe triple (see appliedPut): carried on every
+	// record, not just put-applied ones, because replay is
+	// last-record-wins — a later MarkUpdated record would otherwise
+	// erase the exactly-once guard for a retry racing the crash.
+	AppliedBase    uint64
+	AppliedCRC     uint64
+	AppliedVersion uint64
+}
+
+// JournalReplica is the durable image of one dirty replica: enough to
+// recreate the entry, its provider route, and its outward references.
+type JournalReplica struct {
+	OID         uint64
+	TypeName    string
+	Version     uint64
+	State       []byte
+	Provider    rmi.RemoteRef
+	ClusterRoot uint64
+	Frontier    []FrontierRef
+}
+
+// WithJournal installs the durability journal at construction.
+func WithJournal(j Journal) Option {
+	return func(e *Engine) { e.journal = j }
+}
+
+// SetJournal installs (or clears) the journal at run time. A durable site
+// installs it before any application mutation can occur.
+func (e *Engine) SetJournal(j Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = j
+}
+
+func (e *Engine) getJournal() Journal {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.journal
+}
+
+// appliedPut is the exactly-once guard for put retries that straddle a
+// master restart: the rmi dedupe table dies with the process, so the
+// engine remembers, per master, the last applied update's (base version,
+// state checksum) and the version it produced. A retried PutRequest
+// matching the pair gets the recorded reply instead of a second apply.
+type appliedPut struct {
+	base    uint64
+	crc     uint64
+	version uint64
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func stateCRC(state []byte) uint64 {
+	return uint64(crc32.Checksum(state, castagnoli))
+}
+
+// journalMaster captures entry and reports it to the journal, if any.
+func (e *Engine) journalMaster(entry *heap.Entry) error {
+	j := e.getJournal()
+	if j == nil {
+		return nil
+	}
+	state, err := e.captureEntry(entry)
+	if err != nil {
+		return fmt.Errorf("replication: journal capture %v: %w", entry.OID, err)
+	}
+	frontier, err := e.BuildRecoveryFrontier(entry.Obj)
+	if err != nil {
+		return fmt.Errorf("replication: journal frontier %v: %w", entry.OID, err)
+	}
+	rec := JournalMaster{
+		OID:      uint64(entry.OID),
+		TypeName: entry.TypeName,
+		Version:  entry.Version(),
+		State:    state,
+		Frontier: frontier,
+	}
+	e.mu.Lock()
+	if ap, ok := e.appliedPuts[entry.OID]; ok {
+		rec.AppliedBase, rec.AppliedCRC, rec.AppliedVersion = ap.base, ap.crc, ap.version
+	}
+	e.mu.Unlock()
+	return j.MasterChanged(rec)
+}
+
+// journalDirtyReplica captures a locally edited replica for the journal.
+func (e *Engine) journalDirtyReplica(entry *heap.Entry) error {
+	j := e.getJournal()
+	if j == nil {
+		return nil
+	}
+	state, err := e.captureEntry(entry)
+	if err != nil {
+		return fmt.Errorf("replication: journal capture %v: %w", entry.OID, err)
+	}
+	frontier, err := e.BuildRecoveryFrontier(entry.Obj)
+	if err != nil {
+		return fmt.Errorf("replication: journal frontier %v: %w", entry.OID, err)
+	}
+	return j.ReplicaDirtied(JournalReplica{
+		OID:         uint64(entry.OID),
+		TypeName:    entry.TypeName,
+		Version:     entry.Version(),
+		State:       state,
+		Provider:    entry.Provider(),
+		ClusterRoot: uint64(entry.ClusterRoot()),
+		Frontier:    frontier,
+	})
+}
+
+// journalCleanReplica retracts a dirty record after a successful put or a
+// refresh that overwrote the local edit.
+func (e *Engine) journalCleanReplica(oid objmodel.OID, newVersion uint64) error {
+	j := e.getJournal()
+	if j == nil {
+		return nil
+	}
+	return j.ReplicaCleaned(oid, newVersion)
+}
+
+// journalProxyIn records a proxy-in export.
+func (e *Engine) journalProxyIn(oid objmodel.OID, id rmi.ObjID) error {
+	j := e.getJournal()
+	if j == nil {
+		return nil
+	}
+	return j.ProxyInExported(oid, uint64(id))
+}
+
+// BuildRecoveryFrontier builds frontier descriptors for obj's references,
+// for durable records. Unlike BuildFrontier it NEVER exports a proxy-in:
+// references to local masters are omitted entirely — recovery restores
+// all masters first, so bindRefs finds those targets in the heap without
+// a descriptor. Everything that leaves the site (replica providers,
+// forwarded proxy-outs) is carried. This keeps journaling free of export
+// side effects, which would both mutate the table being journaled and
+// invert the compactor's lock order.
+func (e *Engine) BuildRecoveryFrontier(obj any) ([]FrontierRef, error) {
+	var refs []*objmodel.Ref
+	if entry, ok := e.heap.EntryOf(obj); ok {
+		entry.LockState()
+		refs = objmodel.RefsOf(obj)
+		entry.UnlockState()
+	} else {
+		refs = objmodel.RefsOf(obj)
+	}
+	var out []FrontierRef
+	seen := make(map[objmodel.OID]bool)
+	for _, ref := range refs {
+		toid := ref.OID()
+		if toid == 0 || seen[toid] {
+			continue
+		}
+		seen[toid] = true
+		if ref.IsResolved() {
+			target, err := ref.Resolve()
+			if err != nil {
+				return nil, err
+			}
+			te, ok := e.heap.EntryOf(target)
+			if !ok {
+				return nil, fmt.Errorf("replication: ref target %v not in heap", toid)
+			}
+			if te.Role == heap.Master {
+				continue // rebound from the restored heap, no descriptor needed
+			}
+			if prov := te.Provider(); !prov.IsZero() {
+				out = append(out, FrontierRef{OID: uint64(toid), Provider: prov, TypeName: te.TypeName})
+				continue
+			}
+			// A provider-less replica is only reachable while live; after
+			// a restart the reference must re-fault through the master, so
+			// there is nothing durable to record. Skip it: recovery leaves
+			// the ref unbound only if the target is also gone, in which
+			// case a descriptor would not have helped either.
+			continue
+		}
+		if pout, ok := ref.Faulter().(*ProxyOut); ok {
+			out = append(out, FrontierRef{OID: uint64(toid), Provider: pout.provider})
+		}
+	}
+	return out, nil
+}
+
+// SeedAppliedPut restores a master's exactly-once guard during recovery.
+func (e *Engine) SeedAppliedPut(oid objmodel.OID, base, crc, version uint64) {
+	if base == 0 && crc == 0 && version == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.appliedPuts[oid] = appliedPut{base: base, crc: crc, version: version}
+}
+
+// AppliedPut reports a master's current exactly-once guard (zeroes when
+// no put has been applied). Snapshots carry it forward through compaction.
+func (e *Engine) AppliedPut(oid objmodel.OID) (base, crc, version uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ap := e.appliedPuts[oid]
+	return ap.base, ap.crc, ap.version
+}
+
+// RestoreProxyIn re-exports the proxy-in serving oid at the exact object
+// id its previous incarnation used, so provider references held by remote
+// replicas keep resolving after a restart.
+func (e *Engine) RestoreProxyIn(oid objmodel.OID, id uint64) error {
+	entry, ok := e.heap.Get(oid)
+	if !ok {
+		return fmt.Errorf("replication: restore proxy-in: %w: %v", heap.ErrUnknownObject, oid)
+	}
+	pin := &ProxyIn{eng: e, entry: entry}
+	ref, err := e.rt.ExportWithID(rmi.ObjID(id), pin, "obiwan.IProvideRemote")
+	if err != nil {
+		return fmt.Errorf("replication: restore proxy-in %v at id %d: %w", oid, id, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.proxyIns[oid] = ref
+	e.gc.ProxyInExported()
+	return nil
+}
+
+// RestoreClusterMember re-registers a recovered replica's cluster
+// membership so PutCluster can ship it after a restart. Only journaled
+// (dirty) members are restored, so a recovered cluster ships as the dirty
+// subset of its former self — the master applies each member
+// individually, which is exactly what a partial ClusterPutRequest does.
+func (e *Engine) RestoreClusterMember(root, member objmodel.OID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.clusters[root] {
+		if m == member {
+			return
+		}
+	}
+	e.clusters[root] = append(e.clusters[root], member)
+	e.inCluster[member] = root
+}
+
+// ProxyInIDs returns the current proxy-in export table (OID → RMI object
+// id) for snapshotting.
+func (e *Engine) ProxyInIDs() map[objmodel.OID]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[objmodel.OID]uint64, len(e.proxyIns))
+	for oid, ref := range e.proxyIns {
+		out[oid] = uint64(ref.ID)
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/heap"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/wal"
+)
+
+// Durability wires the replication engine's journal hooks to a wal.Store.
+// Each engine mutation becomes one framed WAL record; recovery replays
+// the snapshot plus log to rebuild the master heap, the dirty set, the
+// proxy-in export table, and the name bindings of the previous
+// incarnation. Records are last-state-wins per object, so replaying a
+// stale log suffix over a snapshot (the compaction crash window) is
+// idempotent.
+//
+// Documented deviations of a recovered site from its previous life:
+//   - Cluster replicas recover as the dirty subset of their cluster; a
+//     SyncDirty ships that subset through the cluster proxy-in, which the
+//     master applies member-by-member.
+//   - Only engine-managed exports come back: the well-known sinks (ids
+//     1–3) occupy the same slots by construction and journaled proxy-ins
+//     are re-exported at their recorded ids; application-level rt.Export
+//     ids are not journaled.
+
+// WAL record kinds (first uvarint of every record payload).
+const (
+	recMaster uint64 = 1 // full master image (last-wins per OID)
+	recDirty  uint64 = 2 // dirty replica image (last-wins per OID)
+	recClean  uint64 = 3 // retracts a dirty record
+	recBind   uint64 = 4 // name binding (last-wins per name)
+	recProxy  uint64 = 5 // proxy-in export id (last-wins per OID)
+)
+
+// compactThreshold is the log size that triggers background compaction.
+const compactThreshold = 1 << 20
+
+// walMasterRec is the durable image of one master object.
+type walMasterRec struct {
+	OID            uint64
+	TypeName       string
+	Version        uint64
+	State          []byte
+	Frontier       []replication.FrontierRef
+	AppliedBase    uint64
+	AppliedCRC     uint64
+	AppliedVersion uint64
+}
+
+// walDirtyRec is the durable image of one locally edited replica.
+type walDirtyRec struct {
+	OID         uint64
+	TypeName    string
+	Version     uint64
+	State       []byte
+	Provider    rmi.RemoteRef
+	ClusterRoot uint64
+	Frontier    []replication.FrontierRef
+}
+
+// walCleanRec retracts the dirty record for OID (edit reached the master).
+type walCleanRec struct {
+	OID     uint64
+	Version uint64
+}
+
+// walBindRec records a name binding. The descriptor stays valid across
+// restarts because recovery re-exports the proxy-in at the same id.
+type walBindRec struct {
+	Name string
+	Desc replication.Descriptor
+}
+
+// walProxyRec records the RMI object id exporting OID's proxy-in.
+type walProxyRec struct {
+	OID uint64
+	ID  uint64
+}
+
+func init() {
+	codec.MustRegister("obiwan.site.walMasterRec", walMasterRec{})
+	codec.MustRegister("obiwan.site.walDirtyRec", walDirtyRec{})
+	codec.MustRegister("obiwan.site.walCleanRec", walCleanRec{})
+	codec.MustRegister("obiwan.site.walBindRec", walBindRec{})
+	codec.MustRegister("obiwan.site.walProxyRec", walProxyRec{})
+}
+
+// durability implements replication.Journal over a wal.Store.
+//
+// Lock ordering: the engine never calls the journal while holding its own
+// locks, so d.mu may be taken freely here; the compactor takes d.mu FIRST
+// and only then reads engine/heap state. No journal path takes engine
+// locks while holding d.mu except compaction, which is safe because the
+// engine's journal calls arrive lock-free.
+type durability struct {
+	site  *Site
+	store *wal.Store
+	reg   *codec.Registry
+
+	mu       sync.Mutex
+	bindings map[string]replication.Descriptor
+
+	compactC chan struct{}
+	stopC    chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ replication.Journal = (*durability)(nil)
+
+func newDurability(s *Site, store *wal.Store) *durability {
+	return &durability{
+		site:     s,
+		store:    store,
+		reg:      s.rt.Registry(),
+		bindings: make(map[string]replication.Descriptor),
+		compactC: make(chan struct{}, 1),
+		stopC:    make(chan struct{}),
+	}
+}
+
+// encodeRec frames one record: kind uvarint + struct body.
+func (d *durability) encodeRec(kind uint64, rec any) ([]byte, error) {
+	enc := codec.NewEncoder(256)
+	enc.WriteUvarint(kind)
+	if err := enc.EncodeStruct(d.reg, rec); err != nil {
+		return nil, err
+	}
+	return enc.Bytes(), nil
+}
+
+// append journals one record and pokes the compactor when the log has
+// outgrown the threshold.
+func (d *durability) append(kind uint64, rec any) error {
+	payload, err := d.encodeRec(kind, rec)
+	if err != nil {
+		return fmt.Errorf("site: encode wal record: %w", err)
+	}
+	d.mu.Lock()
+	err = d.store.Append(payload)
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("site: journal append: %w", err)
+	}
+	if d.store.LogSize() > compactThreshold {
+		select {
+		case d.compactC <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// MasterChanged implements replication.Journal.
+func (d *durability) MasterChanged(rec replication.JournalMaster) error {
+	return d.append(recMaster, &walMasterRec{
+		OID:            rec.OID,
+		TypeName:       rec.TypeName,
+		Version:        rec.Version,
+		State:          rec.State,
+		Frontier:       rec.Frontier,
+		AppliedBase:    rec.AppliedBase,
+		AppliedCRC:     rec.AppliedCRC,
+		AppliedVersion: rec.AppliedVersion,
+	})
+}
+
+// ReplicaDirtied implements replication.Journal.
+func (d *durability) ReplicaDirtied(rec replication.JournalReplica) error {
+	return d.append(recDirty, &walDirtyRec{
+		OID:         rec.OID,
+		TypeName:    rec.TypeName,
+		Version:     rec.Version,
+		State:       rec.State,
+		Provider:    rec.Provider,
+		ClusterRoot: rec.ClusterRoot,
+		Frontier:    rec.Frontier,
+	})
+}
+
+// ReplicaCleaned implements replication.Journal.
+func (d *durability) ReplicaCleaned(oid objmodel.OID, newVersion uint64) error {
+	return d.append(recClean, &walCleanRec{OID: uint64(oid), Version: newVersion})
+}
+
+// ProxyInExported implements replication.Journal.
+func (d *durability) ProxyInExported(oid objmodel.OID, id uint64) error {
+	return d.append(recProxy, &walProxyRec{OID: uint64(oid), ID: id})
+}
+
+// journalBind records a successful name binding.
+func (d *durability) journalBind(name string, desc replication.Descriptor) error {
+	d.mu.Lock()
+	d.bindings[name] = desc
+	d.mu.Unlock()
+	return d.append(recBind, &walBindRec{Name: name, Desc: desc})
+}
+
+// recoveredState is the decoded, last-wins-folded content of a WAL.
+type recoveredState struct {
+	masters  []walMasterRec
+	dirty    []walDirtyRec
+	bindings map[string]replication.Descriptor
+	proxyIns map[uint64]uint64
+}
+
+// foldRecords decodes raw WAL records (snapshot first, then log) into the
+// last-state-wins view of the previous incarnation.
+func (d *durability) foldRecords(raw [][]byte) (*recoveredState, error) {
+	masters := make(map[uint64]walMasterRec)
+	dirty := make(map[uint64]walDirtyRec)
+	out := &recoveredState{
+		bindings: make(map[string]replication.Descriptor),
+		proxyIns: make(map[uint64]uint64),
+	}
+	for i, payload := range raw {
+		dec := codec.NewDecoder(payload)
+		kind, err := dec.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+		}
+		switch kind {
+		case recMaster:
+			var rec walMasterRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			masters[rec.OID] = rec
+		case recDirty:
+			var rec walDirtyRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			dirty[rec.OID] = rec
+		case recClean:
+			var rec walCleanRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			delete(dirty, rec.OID)
+		case recBind:
+			var rec walBindRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			out.bindings[rec.Name] = rec.Desc
+		case recProxy:
+			var rec walProxyRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			out.proxyIns[rec.OID] = rec.ID
+		default:
+			return nil, fmt.Errorf("site: wal record %d: unknown kind %d", i, kind)
+		}
+	}
+	for _, rec := range masters {
+		out.masters = append(out.masters, rec)
+	}
+	sort.Slice(out.masters, func(i, j int) bool { return out.masters[i].OID < out.masters[j].OID })
+	for _, rec := range dirty {
+		out.dirty = append(out.dirty, rec)
+	}
+	sort.Slice(out.dirty, func(i, j int) bool { return out.dirty[i].OID < out.dirty[j].OID })
+	return out, nil
+}
+
+// recover rebuilds the previous incarnation from recovered WAL records:
+// masters first (create, then restore state + references), then dirty
+// replicas, then proxy-in exports at their recorded ids, then name
+// re-registration. Must run before the journal is installed on the
+// engine — recovery itself is not re-journaled; the post-recovery
+// compaction snapshot captures the rebuilt state instead.
+func (d *durability) recover(raw [][]byte) error {
+	st, err := d.foldRecords(raw)
+	if err != nil {
+		return err
+	}
+	eng, h := d.site.engine, d.site.heap
+
+	// Pass 1: masters exist before anything binds references to them.
+	for _, rec := range st.masters {
+		info, ok := objmodel.InfoByName(rec.TypeName)
+		if !ok {
+			return fmt.Errorf("site: recover master %d: unknown type %q", rec.OID, rec.TypeName)
+		}
+		if err := h.AddMasterWithOID(info.New(), objmodel.OID(rec.OID), rec.TypeName, rec.Version); err != nil {
+			return fmt.Errorf("site: recover master %d: %w", rec.OID, err)
+		}
+	}
+	// Pass 2: state + reference binding (local targets resolve from the
+	// heap; off-site targets through frontier proxy-outs).
+	for _, rec := range st.masters {
+		entry, _ := h.Get(objmodel.OID(rec.OID))
+		if err := eng.RestoreWithFrontier(entry.Obj, rec.State, rec.Frontier); err != nil {
+			return fmt.Errorf("site: restore master %d: %w", rec.OID, err)
+		}
+		eng.SeedAppliedPut(objmodel.OID(rec.OID), rec.AppliedBase, rec.AppliedCRC, rec.AppliedVersion)
+	}
+
+	// Dirty replicas: the offline edits the crash must not lose.
+	for _, rec := range st.dirty {
+		info, ok := objmodel.InfoByName(rec.TypeName)
+		if !ok {
+			return fmt.Errorf("site: recover replica %d: unknown type %q", rec.OID, rec.TypeName)
+		}
+		entry, _ := h.AddReplica(info.New(), objmodel.OID(rec.OID), rec.TypeName, rec.Version)
+		entry.SetProvider(rec.Provider, objmodel.OID(rec.ClusterRoot))
+		if rec.ClusterRoot != 0 {
+			eng.RestoreClusterMember(objmodel.OID(rec.ClusterRoot), objmodel.OID(rec.OID))
+		}
+		if err := eng.RestoreWithFrontier(entry.Obj, rec.State, rec.Frontier); err != nil {
+			return fmt.Errorf("site: restore replica %d: %w", rec.OID, err)
+		}
+		entry.SetDirty(true)
+	}
+
+	// Proxy-ins, in OID order for determinism. A record whose entry did
+	// not survive (a live replica that served onward replication) is
+	// skipped: its remote holders re-fault exactly as they would against
+	// a non-durable site.
+	oids := make([]uint64, 0, len(st.proxyIns))
+	for oid := range st.proxyIns {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		if _, ok := h.Get(objmodel.OID(oid)); !ok {
+			continue
+		}
+		if err := eng.RestoreProxyIn(objmodel.OID(oid), st.proxyIns[oid]); err != nil {
+			return err
+		}
+	}
+
+	// Re-register bindings. Bind (not Rebind) on purpose: the nameserver
+	// recognizes the same provider address as the owner coming back.
+	d.mu.Lock()
+	for name, desc := range st.bindings {
+		d.bindings[name] = desc
+	}
+	d.mu.Unlock()
+	if d.site.ns != nil {
+		names := make([]string, 0, len(st.bindings))
+		for name := range st.bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := d.site.ns.Bind(name, st.bindings[name]); err != nil {
+				return fmt.Errorf("site: re-bind %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotRecords serializes the site's full durable state for compaction.
+// Caller holds d.mu.
+func (d *durability) snapshotRecords() ([][]byte, error) {
+	eng, h := d.site.engine, d.site.heap
+	var out [][]byte
+	entries := h.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].OID < entries[j].OID })
+	for _, en := range entries {
+		switch {
+		case en.Role == heap.Master:
+			state, err := eng.CaptureSnapshot(en.Obj)
+			if err != nil {
+				return nil, fmt.Errorf("site: snapshot %v: %w", en.OID, err)
+			}
+			frontier, err := eng.BuildRecoveryFrontier(en.Obj)
+			if err != nil {
+				return nil, fmt.Errorf("site: snapshot %v frontier: %w", en.OID, err)
+			}
+			base, crc, version := eng.AppliedPut(en.OID)
+			payload, err := d.encodeRec(recMaster, &walMasterRec{
+				OID: uint64(en.OID), TypeName: en.TypeName, Version: en.Version(),
+				State: state, Frontier: frontier,
+				AppliedBase: base, AppliedCRC: crc, AppliedVersion: version,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, payload)
+		case en.Dirty():
+			state, err := eng.CaptureSnapshot(en.Obj)
+			if err != nil {
+				return nil, fmt.Errorf("site: snapshot %v: %w", en.OID, err)
+			}
+			frontier, err := eng.BuildRecoveryFrontier(en.Obj)
+			if err != nil {
+				return nil, fmt.Errorf("site: snapshot %v frontier: %w", en.OID, err)
+			}
+			payload, err := d.encodeRec(recDirty, &walDirtyRec{
+				OID: uint64(en.OID), TypeName: en.TypeName, Version: en.Version(),
+				State: state, Provider: en.Provider(), ClusterRoot: uint64(en.ClusterRoot()),
+				Frontier: frontier,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, payload)
+		}
+	}
+	for oid, id := range eng.ProxyInIDs() {
+		payload, err := d.encodeRec(recProxy, &walProxyRec{OID: uint64(oid), ID: id})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+	}
+	names := make([]string, 0, len(d.bindings))
+	for name := range d.bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		payload, err := d.encodeRec(recBind, &walBindRec{Name: name, Desc: d.bindings[name]})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+// compactNow snapshots current state and truncates the log. Safe against
+// concurrent journaling: d.mu blocks appends for the duration, so no
+// record can land between the snapshot capture and the truncate.
+func (d *durability) compactNow() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	records, err := d.snapshotRecords()
+	if err != nil {
+		return err
+	}
+	return d.store.Compact(records)
+}
+
+// startCompactor launches the background compaction goroutine.
+func (d *durability) startCompactor() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for {
+			select {
+			case <-d.stopC:
+				return
+			case <-d.compactC:
+				// Best-effort: a failed compaction leaves the log intact
+				// and will be retried at the next threshold crossing.
+				_ = d.compactNow()
+			}
+		}
+	}()
+}
+
+// stop halts the compactor and waits for it to drain.
+func (d *durability) stop() {
+	close(d.stopC)
+	d.wg.Wait()
+}

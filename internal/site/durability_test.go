@@ -1,0 +1,334 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"obiwan/internal/consistency"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+)
+
+// buildDurableChain registers a 3-note chain at s, wires it, marks the
+// wiring updated (so it is journaled), and binds the head under "chain".
+func buildDurableChain(t *testing.T, s *Site) []*note {
+	t.Helper()
+	notes := make([]*note, 3)
+	for i := range notes {
+		notes[i] = &note{Text: fmt.Sprintf("n%d", i)}
+		if err := s.Register(notes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		r, err := s.NewRef(notes[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		notes[i].Next = r
+		if err := s.MarkUpdated(notes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Bind("chain", notes[0]); err != nil {
+		t.Fatal(err)
+	}
+	return notes
+}
+
+// walkChain dereferences the chain from ref and returns the texts seen.
+func walkChain(t *testing.T, ref *objmodel.Ref) []string {
+	t.Helper()
+	var texts []string
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := head; n != nil; {
+		texts = append(texts, n.Text)
+		if n.Next == nil {
+			break
+		}
+		n, err = objmodel.Deref[*note](n.Next)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return texts
+}
+
+// TestDurableSiteRecoversAfterKill is the core crash story: a durable
+// master is hard-killed (no flush, no final compaction) and reborn from
+// its WAL directory with the same objects, versions, bindings, and
+// proxy-in ids — so replicas fetched before the crash still put back
+// after it, and fresh clients still find the graph by name.
+func TestDurableSiteRecoversAfterKill(t *testing.T) {
+	w := newWorld(t)
+	dir := t.TempDir()
+	server := w.site("server", WithDurability(dir))
+	if server.Incarnation() != 1 {
+		t.Fatalf("first life incarnation %d, want 1", server.Incarnation())
+	}
+	notes := buildDurableChain(t, server)
+	headEntry, _ := server.Heap().EntryOf(notes[0])
+	headOID, headVersion := headEntry.OID, headEntry.Version()
+
+	// A replica fetched during the first life.
+	mobile := w.site("mobile")
+	ref, err := mobile.LookupSpec("chain", replication.GetSpec{Mode: replication.Transitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	server.Kill()
+
+	reborn := w.site("server", WithDurability(dir))
+	if reborn.Incarnation() != 2 {
+		t.Fatalf("second life incarnation %d, want 2", reborn.Incarnation())
+	}
+	if got := reborn.Heap().Len(); got != 3 {
+		t.Fatalf("recovered heap has %d entries, want 3", got)
+	}
+	entry, ok := reborn.Heap().Get(headOID)
+	if !ok {
+		t.Fatalf("head %v not recovered", headOID)
+	}
+	if entry.Version() != headVersion {
+		t.Fatalf("head version %d, want %d", entry.Version(), headVersion)
+	}
+
+	// The pre-crash replica's provider reference must still resolve: the
+	// proxy-in came back at its recorded id.
+	head.Text = "edited while server was dead-and-reborn"
+	if err := mobile.MarkUpdated(head); err != nil {
+		t.Fatal(err)
+	}
+	if synced, err := mobile.SyncDirty(); err != nil || synced != 1 {
+		t.Fatalf("sync to reborn master: synced=%d err=%v", synced, err)
+	}
+	if got := entry.Obj.(*note).Text; got != "edited while server was dead-and-reborn" {
+		t.Fatalf("reborn master text %q", got)
+	}
+
+	// A fresh client finds the re-registered binding and walks the
+	// recovered graph.
+	probe := w.site("probe")
+	pref, err := probe.Lookup("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := walkChain(t, pref)
+	if len(texts) != 3 || texts[1] != "n1" || texts[2] != "n2" {
+		t.Fatalf("walk after rebirth: %q", texts)
+	}
+}
+
+// TestDurableCloseIdempotent: Close flushes, compacts, and may be called
+// any number of times; a clean restart recovers from the snapshot alone.
+func TestDurableCloseIdempotent(t *testing.T) {
+	w := newWorld(t)
+	dir := t.TempDir()
+	server := w.site("server", WithDurability(dir))
+	buildDurableChain(t, server)
+
+	if err := server.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatalf("third close: %v", err)
+	}
+
+	reborn := w.site("server", WithDurability(dir))
+	if got := reborn.Heap().Len(); got != 3 {
+		t.Fatalf("recovered heap has %d entries, want 3", got)
+	}
+	if reborn.Incarnation() != 2 {
+		t.Fatalf("incarnation %d, want 2", reborn.Incarnation())
+	}
+}
+
+// TestDurableCompactionCrashWindow: mutations after a compaction live
+// only in the log; a crash then recovers snapshot + log, and replaying
+// any stale log suffix over the snapshot is idempotent (last-state-wins).
+func TestDurableCompactionCrashWindow(t *testing.T) {
+	w := newWorld(t)
+	dir := t.TempDir()
+	server := w.site("server", WithDurability(dir))
+	notes := buildDurableChain(t, server)
+
+	if err := server.durable.compactNow(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	// Post-compaction mutations: only the log has them.
+	notes[2].Text = "post-compaction edit"
+	if err := server.MarkUpdated(notes[2]); err != nil {
+		t.Fatal(err)
+	}
+	tailEntry, _ := server.Heap().EntryOf(notes[2])
+	tailOID, tailVersion := tailEntry.OID, tailEntry.Version()
+
+	server.Kill()
+
+	reborn := w.site("server", WithDurability(dir))
+	entry, ok := reborn.Heap().Get(tailOID)
+	if !ok {
+		t.Fatalf("tail %v not recovered", tailOID)
+	}
+	if got := entry.Obj.(*note).Text; got != "post-compaction edit" {
+		t.Fatalf("recovered tail text %q", got)
+	}
+	if entry.Version() != tailVersion {
+		t.Fatalf("tail version %d, want %d", entry.Version(), tailVersion)
+	}
+}
+
+// TestDurableClientRecoversOfflineEdits is the mobile half of the story:
+// a durable client edits replicas while disconnected, crashes, and its
+// reborn incarnation still holds the dirty replicas — SyncDirty delivers
+// the pre-crash edits once the link returns.
+func TestDurableClientRecoversOfflineEdits(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	master := &note{Text: "v1"}
+	if err := server.Bind("doc", master); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	mobile := w.site("mobile", WithDurability(dir))
+	ref, err := mobile.Lookup("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := objmodel.Deref[*note](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.net.Disconnect("mobile", "server")
+	n.Text = "offline edit, journaled"
+	if err := mobile.MarkUpdated(n); err != nil {
+		t.Fatal(err)
+	}
+	mobile.Kill() // host powers off mid-detachment
+
+	reborn := w.site("mobile", WithDurability(dir))
+	dirty := reborn.DirtyReplicas()
+	if len(dirty) != 1 {
+		t.Fatalf("reborn client has %d dirty replicas, want 1", len(dirty))
+	}
+	if got := dirty[0].(*note).Text; got != "offline edit, journaled" {
+		t.Fatalf("recovered dirty text %q", got)
+	}
+
+	w.net.Reconnect("mobile", "server")
+	if synced, err := reborn.SyncDirty(); err != nil || synced != 1 {
+		t.Fatalf("sync after rebirth: synced=%d err=%v", synced, err)
+	}
+	if master.Text != "offline edit, journaled" {
+		t.Fatalf("master text %q", master.Text)
+	}
+	if len(reborn.DirtyReplicas()) != 0 {
+		t.Fatal("synced replica must be clean")
+	}
+}
+
+// TestErrUnavailableChain pins the error contract through the retry →
+// engine → site chain: connectivity failures are errors.Is-able both as
+// replication.ErrUnavailable and as the underlying transport cause, the
+// sentinel is reachable by manual Unwrap walking, and application-level
+// rejections surface as *rmi.RemoteError WITHOUT the unavailable tag.
+func TestErrUnavailableChain(t *testing.T) {
+	w := newWorld(t)
+	fast := rmi.RetryPolicy{MaxAttempts: 3, BaseBackoff: 0, MaxBackoff: 0, Multiplier: 1}
+	server := w.site("server", WithPolicy(consistency.FirstWriterWins{}))
+	alice := w.site("alice", WithRetry(fast))
+	bob := w.site("bob", WithRetry(fast))
+
+	masterNote := &note{Text: "v1"}
+	if err := server.Bind("doc", masterNote); err != nil {
+		t.Fatal(err)
+	}
+	refA, err := alice.Lookup("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := objmodel.Deref[*note](refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := bob.Lookup("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := objmodel.Deref[*note](refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connectivity failure: retries exhaust, then the site surfaces the
+	// engine's wrap of the transport error.
+	w.net.Disconnect("alice", "server")
+	a.Text = "stranded"
+	if err := alice.MarkUpdated(a); err != nil {
+		t.Fatal(err)
+	}
+	_, err = alice.SyncDirty()
+	if err == nil {
+		t.Fatal("sync over a dead link must fail")
+	}
+	if !errors.Is(err, replication.ErrUnavailable) {
+		t.Fatalf("errors.Is(ErrUnavailable) false: %v", err)
+	}
+	if !errors.Is(err, netsim.ErrDisconnected) {
+		t.Fatalf("transport cause lost from chain: %v", err)
+	}
+	// The wrap uses multi-%w, so the chain is a tree: nodes expose either
+	// Unwrap() error or Unwrap() []error. Both sentinels must be leaves.
+	var walk func(e error) bool
+	walk = func(e error) bool {
+		if e == replication.ErrUnavailable {
+			return true
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() error }:
+			return walk(u.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, c := range u.Unwrap() {
+				if c != nil && walk(c) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(err) {
+		t.Fatalf("Unwrap walk never reached the sentinel: %v", err)
+	}
+
+	// Application-level rejection: a conflicting put is a remote error,
+	// not an unavailability.
+	b.Text = "bob's edit"
+	if err := bob.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	w.net.Reconnect("alice", "server")
+	err = alice.Put(a) // base version is stale now
+	var re *rmi.RemoteError
+	if !errors.As(err, &re) || !re.IsApp() {
+		t.Fatalf("stale put: want app-level *rmi.RemoteError, got %v", err)
+	}
+	if errors.Is(err, replication.ErrUnavailable) {
+		t.Fatalf("an application rejection must not read as unavailability: %v", err)
+	}
+}

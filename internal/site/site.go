@@ -28,6 +28,7 @@ import (
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
 	"obiwan/internal/transport"
+	"obiwan/internal/wal"
 )
 
 // SinkIface is the symbolic interface name of a site's invalidation sink.
@@ -54,6 +55,7 @@ type options struct {
 	fetchFactor float64
 	callTimeout time.Duration
 	retry       *rmi.RetryPolicy
+	walDir      string
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -94,6 +96,16 @@ func WithCallTimeout(d time.Duration) Option { return func(o *options) { o.callT
 // (default rmi.DefaultRetryPolicy; use rmi.NoRetry to fail fast).
 func WithRetry(p rmi.RetryPolicy) Option { return func(o *options) { o.retry = &p } }
 
+// WithDurability makes the site crash-durable: master mutations, dirty
+// replica edits, proxy-in exports, and name bindings are journaled to a
+// write-ahead log in dir before being acknowledged. Creating a site over
+// a non-empty dir recovers the previous incarnation: masters and their
+// versions, offline edits (dirty replicas, ready for SyncDirty), proxy-in
+// exports at the ids remote replicas already hold, and name-server
+// registrations. Each rebirth runs under a fresh persisted incarnation
+// number, so peers never confuse it with its previous life.
+func WithDurability(dir string) Option { return func(o *options) { o.walDir = dir } }
+
 // Site is one OBIWAN process.
 type Site struct {
 	name    string
@@ -108,9 +120,14 @@ type Site struct {
 	spec    replication.GetSpec
 	applier *dissemination.Applier
 
+	durable *durability // nil for in-memory sites
+
 	mu         sync.Mutex
 	basePolicy replication.Policy
 	publisher  *dissemination.Publisher
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New starts a site named name on network. The name doubles as the
@@ -129,6 +146,24 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		o.siteID = hashSiteID(name)
 	}
 
+	// Durable sites open their WAL before anything else: the persisted
+	// incarnation number must flow into the RMI client identity, and the
+	// directory is pinned to the site id so a WAL can never replay into a
+	// heap that would mint foreign OIDs.
+	var store *wal.Store
+	var recovered *wal.Recovered
+	if o.walDir != "" {
+		var err error
+		store, recovered, err = wal.Open(o.walDir)
+		if err != nil {
+			return nil, fmt.Errorf("site %q: open wal: %w", name, err)
+		}
+		if err := store.BindSiteID(o.siteID); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("site %q: %w", name, err)
+		}
+	}
+
 	monitor := qos.NewMonitor()
 	rtOpts := []rmi.Option{
 		rmi.WithObserver(monitor.Observe),
@@ -137,8 +172,14 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	if o.retry != nil {
 		rtOpts = append(rtOpts, rmi.WithRetryPolicy(*o.retry))
 	}
+	if store != nil {
+		rtOpts = append(rtOpts, rmi.WithIncarnation(store.Incarnation()))
+	}
 	rt, err := rmi.NewRuntime(network, transport.Addr(name), rtOpts...)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, fmt.Errorf("site %q: %w", name, err)
 	}
 
@@ -205,6 +246,26 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 
 	if o.nsAddr != "" {
 		s.ns = nameserver.NewClient(rt, nameserver.WellKnownRef(o.nsAddr))
+	}
+
+	if store != nil {
+		d := newDurability(s, store)
+		s.durable = d
+		// Recovery runs before the journal is installed (it must not
+		// re-journal what it replays); the immediate compaction then
+		// snapshots the rebuilt state and empties the log.
+		if err := d.recover(recovered.Records()); err != nil {
+			_ = rt.Close()
+			store.Close()
+			return nil, fmt.Errorf("site %q: recover: %w", name, err)
+		}
+		s.engine.SetJournal(d)
+		if err := d.compactNow(); err != nil {
+			_ = rt.Close()
+			store.Close()
+			return nil, fmt.Errorf("site %q: compact after recovery: %w", name, err)
+		}
+		d.startCompactor()
 	}
 	return s, nil
 }
@@ -285,8 +346,51 @@ func (s *Site) Monitor() *qos.Monitor { return s.monitor }
 // StaleSet exposes the invalidation ledger.
 func (s *Site) StaleSet() *consistency.StaleSet { return s.stale }
 
-// Close shuts the site down.
-func (s *Site) Close() error { return s.rt.Close() }
+// Incarnation returns the persisted incarnation number of a durable site
+// (1 for its first life), or 0 for in-memory sites.
+func (s *Site) Incarnation() uint64 {
+	if s.durable == nil {
+		return 0
+	}
+	return s.durable.store.Incarnation()
+}
+
+// Close shuts the site down: it stops the background compactor, takes a
+// final compaction snapshot, closes the RMI runtime, and flushes and
+// closes the WAL. Idempotent — repeated calls return the first result.
+func (s *Site) Close() error {
+	s.closeOnce.Do(func() {
+		if s.durable != nil {
+			s.durable.stop()
+			// Best-effort: the log alone already holds everything the
+			// snapshot would, so a failed final compaction loses nothing.
+			_ = s.durable.compactNow()
+		}
+		s.closeErr = s.rt.Close()
+		if s.durable != nil {
+			if err := s.durable.store.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// Kill hard-stops the site, simulating a crash: the RMI runtime closes
+// (in-flight calls fail) and the WAL is abandoned without the flush,
+// final compaction, or clean shutdown Close performs. The WAL directory
+// is left exactly as a power failure would — recovery must cope.
+func (s *Site) Kill() {
+	s.closeOnce.Do(func() {
+		if s.durable != nil {
+			s.durable.stop()
+		}
+		s.closeErr = s.rt.Close()
+		if s.durable != nil {
+			s.durable.store.Abandon()
+		}
+	})
+}
 
 // Register adds obj as a master object at this site.
 func (s *Site) Register(obj any) error {
@@ -315,7 +419,13 @@ func (s *Site) Bind(name string, obj any) error {
 	if err != nil {
 		return err
 	}
-	return s.ns.Rebind(name, d)
+	if err := s.ns.Rebind(name, d); err != nil {
+		return err
+	}
+	if s.durable != nil {
+		return s.durable.journalBind(name, d)
+	}
+	return nil
 }
 
 // Lookup resolves name at the name server and returns an unresolved

@@ -178,6 +178,11 @@ var (
 	WithCallTimeout = site.WithCallTimeout
 	// WithRetry sets the RMI retry policy for the site's outbound calls.
 	WithRetry = site.WithRetry
+	// WithDurability makes the site crash-durable: masters, dirty
+	// replicas, exports, and name bindings journal to a write-ahead log
+	// in dir, and NewSite over the same dir recovers them under a fresh
+	// incarnation.
+	WithDurability = site.WithDurability
 )
 
 // RetryPolicy bounds how outbound RMI calls are retried: attempt count,
