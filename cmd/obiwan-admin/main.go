@@ -1,12 +1,18 @@
 // Command obiwan-admin inspects a running OBIWAN site over TCP: heap
-// contents (masters, replicas, dirty state), RMI traffic counters, and the
-// proxy-lifecycle ledger.
+// contents (masters, replicas, dirty state), RMI traffic counters, the
+// proxy-lifecycle ledger, and the live telemetry surface (metrics
+// registry and recent trace spans).
 //
 // Usage:
 //
-//	obiwan-admin -site host:port            # full report
-//	obiwan-admin -site host:port -ping      # liveness probe only
-//	obiwan-admin -site host:port -objects   # per-object table only
+//	obiwan-admin -site host:port                # full report
+//	obiwan-admin -site host:port ping           # liveness probe only
+//	obiwan-admin -site host:port objects        # per-object table only
+//	obiwan-admin -site host:port metrics        # live metrics snapshot
+//	obiwan-admin -site host:port -max 50 trace  # recent span trees
+//
+// The legacy -ping and -objects flags remain as aliases for the
+// corresponding subcommands.
 package main
 
 import (
@@ -19,26 +25,38 @@ import (
 	"obiwan/internal/rmi"
 	"obiwan/internal/site"
 	"obiwan/internal/stats"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
 func main() {
 	siteAddr := flag.String("site", "", "address of the site to inspect (host:port)")
-	ping := flag.Bool("ping", false, "liveness probe only")
-	objects := flag.Bool("objects", false, "print only the per-object table")
+	ping := flag.Bool("ping", false, "liveness probe only (alias for the ping subcommand)")
+	objects := flag.Bool("objects", false, "print only the per-object table (alias for the objects subcommand)")
+	maxSpans := flag.Uint64("max", 0, "trace: fetch at most this many recent spans (0 = everything retained)")
 	flag.Parse()
 
 	if *siteAddr == "" {
 		fmt.Fprintln(os.Stderr, "obiwan-admin: -site is required")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *siteAddr, *ping, *objects); err != nil {
+	cmd := "report"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	if *ping {
+		cmd = "ping"
+	}
+	if *objects {
+		cmd = "objects"
+	}
+	if err := run(os.Stdout, *siteAddr, cmd, *maxSpans); err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-admin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, siteAddr string, ping, objectsOnly bool) error {
+func run(w io.Writer, siteAddr, cmd string, maxSpans uint64) error {
 	network := transport.NewTCPNetwork()
 	rt, err := rmi.NewRuntime(network, "127.0.0.1:0")
 	if err != nil {
@@ -47,20 +65,35 @@ func run(w io.Writer, siteAddr string, ping, objectsOnly bool) error {
 	defer rt.Close()
 
 	client := admin.NewClient(rt, site.AdminRef(transport.Addr(siteAddr)))
-	if ping {
+	switch cmd {
+	case "ping":
 		name, err := client.Ping()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "site %q is alive at %s\n", name, siteAddr)
 		return nil
+	case "metrics":
+		snap, err := client.Metrics()
+		if err != nil {
+			return err
+		}
+		return renderMetrics(w, snap)
+	case "trace":
+		dump, err := client.Traces(maxSpans)
+		if err != nil {
+			return err
+		}
+		return renderTraces(w, dump)
+	case "report", "objects":
+		report, err := client.Report()
+		if err != nil {
+			return err
+		}
+		return render(w, report, cmd == "objects")
+	default:
+		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, or trace)", cmd)
 	}
-
-	report, err := client.Report()
-	if err != nil {
-		return err
-	}
-	return render(w, report, objectsOnly)
 }
 
 func render(w io.Writer, r *admin.SiteReport, objectsOnly bool) error {
@@ -82,4 +115,31 @@ func render(w io.Writer, r *admin.SiteReport, objectsOnly bool) error {
 	}
 	_, err := t.WriteTo(w)
 	return err
+}
+
+// renderMetrics prints a metrics snapshot. An empty snapshot from a live
+// site means telemetry is disabled there, so say so explicitly.
+func renderMetrics(w io.Writer, snap *telemetry.MetricsSnapshot) error {
+	if len(snap.Counters) == 0 && len(snap.Gauges) == 0 && len(snap.Histograms) == 0 {
+		fmt.Fprintf(w, "site %q: no metrics (telemetry disabled or nothing recorded yet)\n", snap.Site)
+		return nil
+	}
+	_, err := io.WriteString(w, snap.Format())
+	return err
+}
+
+// renderTraces assembles the dumped spans into trees and prints each one.
+func renderTraces(w io.Writer, dump *telemetry.TraceDump) error {
+	if len(dump.Spans) == 0 {
+		fmt.Fprintf(w, "site %q: no finished spans (telemetry disabled or nothing traced yet)\n", dump.Site)
+		return nil
+	}
+	fmt.Fprintf(w, "site %q: %d finished spans\n\n", dump.Site, len(dump.Spans))
+	for _, root := range telemetry.BuildTrees(dump.Spans) {
+		if _, err := io.WriteString(w, telemetry.FormatTree(root)); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }

@@ -35,7 +35,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := run(&buf, string(s.Addr()), true, false); err != nil {
+	if err := run(&buf, string(s.Addr()), "ping", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "is alive") {
@@ -43,7 +43,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), false, false); err != nil {
+	if err := run(&buf, string(s.Addr()), "report", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -59,17 +59,40 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), false, true); err != nil {
+	if err := run(&buf, string(s.Addr()), "objects", 0); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "rmi:") {
-		t.Fatal("-objects must omit the summary")
+		t.Fatal("objects must omit the summary")
+	}
+
+	// metrics: the serve counter has ticked for the calls above.
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), "metrics", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rmi.calls.served") {
+		t.Fatalf("metrics output missing serve counter:\n%s", buf.String())
+	}
+
+	// trace: the CLI's own calls carry no trace context, so the site has
+	// no finished spans — the command must still succeed and say so.
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), "trace", 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finished spans") {
+		t.Fatalf("trace output: %q", buf.String())
+	}
+
+	if err := run(&buf, string(s.Addr()), "bogus", 0); err == nil {
+		t.Fatal("unknown command must error")
 	}
 }
 
 func TestAdminCLIUnreachable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "127.0.0.1:1", true, false); err == nil {
+	if err := run(&buf, "127.0.0.1:1", "ping", 0); err == nil {
 		t.Fatal("unreachable site must error")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"obiwan/internal/platgc"
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 )
 
 // Iface is the symbolic RMI interface name of the admin service.
@@ -67,11 +68,13 @@ type Service struct {
 	rt     *rmi.Runtime
 	heap   *heap.Heap
 	engine *replication.Engine
+	tel    *telemetry.Hub // nil when the site runs without telemetry
 }
 
-// NewService builds the admin service for one site.
-func NewService(name string, rt *rmi.Runtime, h *heap.Heap, eng *replication.Engine) *Service {
-	return &Service{name: name, rt: rt, heap: h, engine: eng}
+// NewService builds the admin service for one site. hub may be nil, in
+// which case Metrics and Traces report empty snapshots.
+func NewService(name string, rt *rmi.Runtime, h *heap.Heap, eng *replication.Engine, hub *telemetry.Hub) *Service {
+	return &Service{name: name, rt: rt, heap: h, engine: eng, tel: hub}
 }
 
 // Report assembles the full snapshot.
@@ -129,6 +132,20 @@ func fillGC(r *SiteReport, gc platgc.Stats) {
 // Ping returns the site name; a cheap liveness probe.
 func (s *Service) Ping() string { return s.name }
 
+// Metrics exports the site's live metrics registry. With telemetry off the
+// snapshot is empty but the call still succeeds, so operators can tell
+// "telemetry disabled" apart from "site unreachable".
+func (s *Service) Metrics() *telemetry.MetricsSnapshot {
+	return s.tel.MetricsSnapshot()
+}
+
+// Traces exports up to max recent finished spans (0: everything the ring
+// holds), oldest first, wrapped with the site name for tree assembly and
+// display.
+func (s *Service) Traces(max uint64) *telemetry.TraceDump {
+	return &telemetry.TraceDump{Site: s.name, Spans: s.tel.Spans(int(max))}
+}
+
 // Client queries a remote site's admin service.
 type Client struct {
 	rt  *rmi.Runtime
@@ -151,6 +168,32 @@ func (c *Client) Report() (*SiteReport, error) {
 		return nil, errUnexpected(res[0])
 	}
 	return report, nil
+}
+
+// Metrics fetches the remote metrics snapshot.
+func (c *Client) Metrics() (*telemetry.MetricsSnapshot, error) {
+	res, err := c.rt.Call(c.ref, "Metrics")
+	if err != nil {
+		return nil, err
+	}
+	snap, ok := res[0].(*telemetry.MetricsSnapshot)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return snap, nil
+}
+
+// Traces fetches up to max recent spans from the remote site (0: all).
+func (c *Client) Traces(max uint64) (*telemetry.TraceDump, error) {
+	res, err := c.rt.Call(c.ref, "Traces", max)
+	if err != nil {
+		return nil, err
+	}
+	dump, ok := res[0].(*telemetry.TraceDump)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return dump, nil
 }
 
 // Ping probes the remote site.

@@ -11,6 +11,7 @@ import (
 	"obiwan/internal/objmodel"
 	"obiwan/internal/platgc"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -72,6 +73,15 @@ func WithCrossover(c Crossover) Option {
 	return func(e *Engine) { e.crossover = c }
 }
 
+// WithTelemetry attaches a telemetry hub: replication protocol steps
+// (fault, assemble, materialize, put) become spans and the repl.* metrics
+// are recorded from protocol events. Pass the same hub given to the RMI
+// runtime so cross-site demand chains share one trace. Nil (the default)
+// disables both at no cost.
+func WithTelemetry(h *telemetry.Hub) Option {
+	return func(e *Engine) { e.tel = h }
+}
+
 // BulkTimeout is the per-call deadline for replication data transfers
 // (Get/Put/PutCluster). Bulk payloads — a transitive closure of a large
 // graph on a thin link — legitimately take far longer than interactive
@@ -88,8 +98,25 @@ type Engine struct {
 	crossover Crossover
 	observer  EventObserver
 	gc        platgc.Accountant
+	tel       *telemetry.Hub
+
+	// Protocol instruments, resolved once; all nil no-ops when tel is nil.
+	met struct {
+		faults       *telemetry.Counter
+		faultsHeap   *telemetry.Counter
+		faultLatency *telemetry.Histogram
+		assembled    *telemetry.Counter
+		materialized *telemetry.Counter
+		clustered    *telemetry.Counter
+		batch        *telemetry.Counter
+		payloadObjs  *telemetry.Histogram
+		putsShipped  *telemetry.Counter
+		putsApplied  *telemetry.Counter
+	}
 
 	mu          sync.Mutex
+	observers   []obsEntry // fan-out observers, in registration order
+	observerSeq int
 	journal     Journal                         // durability hooks (nil: in-memory site)
 	appliedPuts map[objmodel.OID]appliedPut     // exactly-once guard per master
 	proxyIns    map[objmodel.OID]rmi.RemoteRef  // exported proxy-in per object
@@ -112,7 +139,28 @@ func NewEngine(rt *rmi.Runtime, h *heap.Heap, opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if m := e.tel.Metrics(); m != nil {
+		e.met.faults = m.Counter("repl.faults")
+		e.met.faultsHeap = m.Counter("repl.faults.from_heap")
+		e.met.faultLatency = m.Histogram("repl.fault.latency_ns")
+		e.met.assembled = m.Counter("repl.payloads.assembled")
+		e.met.materialized = m.Counter("repl.payloads.materialized")
+		e.met.clustered = m.Counter("repl.payloads.clustered")
+		e.met.batch = m.Counter("repl.payloads.batch")
+		e.met.payloadObjs = m.Histogram("repl.payload.objects")
+		e.met.putsShipped = m.Counter("repl.puts.shipped")
+		e.met.putsApplied = m.Counter("repl.puts.applied")
+	}
 	return e
+}
+
+// Telemetry returns the engine's hub (nil when telemetry is disabled).
+func (e *Engine) Telemetry() *telemetry.Hub { return e.tel }
+
+// startSpan begins a protocol span under parent (or roots a new trace when
+// parent is invalid). Nil-safe when telemetry is off.
+func (e *Engine) startSpan(parent telemetry.SpanContext, name string) *telemetry.Span {
+	return e.tel.StartSpan(parent, name)
 }
 
 // Heap returns the engine's object store.
@@ -292,8 +340,18 @@ func (e *Engine) restoreEntry(entry *heap.Entry, state []byte, frontier map[objm
 
 // assemble builds the payload for a demand on root with spec. It runs at
 // the master (or any site holding the object — replicas can serve onward
-// replication the same way).
-func (e *Engine) assemble(root *heap.Entry, spec GetSpec, requester string) (*Payload, error) {
+// replication the same way). sc parents the "assemble" span: the serve
+// span of the inbound Get when the demand was traced, invalid otherwise.
+func (e *Engine) assemble(sc telemetry.SpanContext, root *heap.Entry, spec GetSpec, requester string) (payload *Payload, err error) {
+	span := e.startSpan(sc, "assemble")
+	span.Annotate("oid", fmt.Sprint(root.OID))
+	defer func() {
+		if payload != nil {
+			span.Annotate("objects", fmt.Sprint(len(payload.Objects)))
+		}
+		span.SetErr(err)
+		span.End()
+	}()
 	spec = spec.normalize()
 	limit := heap.TraverseLimit{MaxDepth: spec.Depth}
 	if spec.Mode == Incremental {
@@ -407,8 +465,17 @@ func (e *Engine) frontierFor(ref *objmodel.Ref) (FrontierRef, error) {
 
 // materialize installs a payload into the local heap: replicas are created
 // or refreshed, references bound, frontier proxy-outs created. It returns
-// the root object.
-func (e *Engine) materialize(p *Payload) (any, error) {
+// the root object. sc parents the "materialize" span — on the demand path
+// it is the fault span, so the trace reads fault → rmi:Get → serve:Get →
+// assemble on the provider, then materialize back here.
+func (e *Engine) materialize(sc telemetry.SpanContext, p *Payload) (root any, err error) {
+	span := e.startSpan(sc, "materialize")
+	span.Annotate("oid", fmt.Sprint(objmodel.OID(p.RootOID)))
+	span.Annotate("objects", fmt.Sprint(len(p.Objects)))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	frontier := make(map[objmodel.OID]FrontierRef, len(p.Frontier))
 	for _, fr := range p.Frontier {
 		frontier[objmodel.OID(fr.OID)] = fr
@@ -539,6 +606,13 @@ func (e *Engine) bindRefs(obj any, frontier map[objmodel.OID]FrontierRef, spec G
 // ref's inherited replication parameters — the paper's programmatic
 // get(mode). It is a no-op on already-resolved refs.
 func (e *Engine) Replicate(ref *objmodel.Ref, spec GetSpec) (any, error) {
+	return e.ReplicateTraced(telemetry.SpanContext{}, ref, spec)
+}
+
+// ReplicateTraced is Replicate under a causal parent: the demand's fault
+// span (and everything the demand causes on other sites) is recorded
+// beneath sc. An invalid sc roots a new trace when telemetry is on.
+func (e *Engine) ReplicateTraced(sc telemetry.SpanContext, ref *objmodel.Ref, spec GetSpec) (any, error) {
 	if ref.IsResolved() {
 		return ref.Resolve()
 	}
@@ -546,7 +620,7 @@ func (e *Engine) Replicate(ref *objmodel.Ref, spec GetSpec) (any, error) {
 	if !ok {
 		return nil, objmodel.ErrUnboundRef
 	}
-	local, remote, err := pout.demand(spec.normalize())
+	local, remote, err := pout.demand(sc, spec.normalize())
 	if err != nil {
 		return nil, err
 	}
@@ -561,6 +635,12 @@ func (e *Engine) Replicate(ref *objmodel.Ref, spec GetSpec) (any, error) {
 // Put ships a replica's state back to its master — the paper's put. The
 // replica must have arrived outside a cluster (ErrClusterMember otherwise).
 func (e *Engine) Put(obj any) error {
+	return e.PutTraced(telemetry.SpanContext{}, obj)
+}
+
+// PutTraced is Put under a causal parent: the shipped update is recorded
+// as a "put" span beneath sc, and the master's apply joins the same trace.
+func (e *Engine) PutTraced(sc telemetry.SpanContext, obj any) (err error) {
 	entry, ok := e.heap.EntryOf(obj)
 	if !ok {
 		return heap.ErrUnknownObject
@@ -575,11 +655,17 @@ func (e *Engine) Put(obj any) error {
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
+	span := e.startSpan(sc, "put")
+	span.Annotate("oid", fmt.Sprint(entry.OID))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	req, err := e.buildPutRequest(entry)
 	if err != nil {
 		return err
 	}
-	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Put", req)
+	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Put", req)
 	if err != nil {
 		return fmt.Errorf("replication: put %v: %w", entry.OID, wrapUnavailable(err))
 	}
@@ -599,14 +685,25 @@ func (e *Engine) Put(obj any) error {
 // PutCluster ships the whole cluster containing obj back to the master as
 // one unit.
 func (e *Engine) PutCluster(obj any) error {
+	return e.PutClusterTraced(telemetry.SpanContext{}, obj)
+}
+
+// PutClusterTraced is PutCluster under a causal parent.
+func (e *Engine) PutClusterTraced(sc telemetry.SpanContext, obj any) (err error) {
 	entry, ok := e.heap.EntryOf(obj)
 	if !ok {
 		return heap.ErrUnknownObject
 	}
 	if !entry.ClusterMember() {
-		return e.Put(obj)
+		return e.PutTraced(sc, obj)
 	}
 	root := entry.ClusterRoot()
+	span := e.startSpan(sc, "put.cluster")
+	span.Annotate("root", fmt.Sprint(root))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	e.mu.Lock()
 	members := append([]objmodel.OID(nil), e.clusters[root]...)
 	e.mu.Unlock()
@@ -629,7 +726,7 @@ func (e *Engine) PutCluster(obj any) error {
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
-	res, err := e.rt.CallTimeout(prov, BulkTimeout, "PutCluster", creq)
+	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "PutCluster", creq)
 	if err != nil {
 		return fmt.Errorf("replication: put cluster %v: %w", root, wrapUnavailable(err))
 	}
@@ -685,7 +782,14 @@ func (e *Engine) buildPutRequest(entry *heap.Entry) (*PutRequest, error) {
 }
 
 // applyPut applies an inbound update at the master (called by ProxyIn).
-func (e *Engine) applyPut(req *PutRequest) (*PutReply, error) {
+// sc parents the "put.apply" span — the serve span of the inbound Put.
+func (e *Engine) applyPut(sc telemetry.SpanContext, req *PutRequest) (reply *PutReply, err error) {
+	span := e.startSpan(sc, "put.apply")
+	span.Annotate("oid", fmt.Sprint(objmodel.OID(req.OID)))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	entry, ok := e.heap.Get(objmodel.OID(req.OID))
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", heap.ErrUnknownObject, req.OID)
@@ -728,6 +832,11 @@ func (e *Engine) applyPut(req *PutRequest) (*PutReply, error) {
 // Refresh re-fetches a replica's state from its master (the get-refresh
 // path of §2.2 step 3). Cluster members refresh their whole cluster.
 func (e *Engine) Refresh(obj any) error {
+	return e.RefreshTraced(telemetry.SpanContext{}, obj)
+}
+
+// RefreshTraced is Refresh under a causal parent.
+func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	entry, ok := e.heap.EntryOf(obj)
 	if !ok {
 		return heap.ErrUnknownObject
@@ -739,13 +848,19 @@ func (e *Engine) Refresh(obj any) error {
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
+	span := e.startSpan(sc, "refresh")
+	span.Annotate("oid", fmt.Sprint(entry.OID))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	spec := GetSpec{Mode: Incremental, Batch: 1}
 	if entry.ClusterMember() {
 		e.mu.Lock()
 		spec = GetSpec{Mode: Incremental, Batch: len(e.clusters[entry.ClusterRoot()]), Clustered: true}
 		e.mu.Unlock()
 	}
-	res, err := e.rt.CallTimeout(prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
+	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
 	if err != nil {
 		return fmt.Errorf("replication: refresh %v: %w", entry.OID, wrapUnavailable(err))
 	}
@@ -753,7 +868,7 @@ func (e *Engine) Refresh(obj any) error {
 	if !ok {
 		return fmt.Errorf("replication: refresh %v: unexpected reply %T", entry.OID, res[0])
 	}
-	if _, err := e.materialize(payload); err != nil {
+	if _, err := e.materialize(span.Context(), payload); err != nil {
 		return err
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"obiwan/internal/heap"
 	"obiwan/internal/objmodel"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -205,7 +206,7 @@ func TestEventObserverOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	entry, _ := eng.Heap().EntryOf(obj)
-	if _, err := eng.assemble(entry, DefaultSpec, "tester"); err != nil {
+	if _, err := eng.assemble(telemetry.SpanContext{}, entry, DefaultSpec, "tester"); err != nil {
 		t.Fatal(err)
 	}
 	if seen == 0 {

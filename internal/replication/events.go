@@ -72,24 +72,92 @@ func (e Event) String() string {
 // the protocol path: keep it fast, hand off anything heavy.
 type EventObserver func(Event)
 
-// WithEventObserver installs a protocol trace observer on the engine.
+// obsEntry is one fan-out registration.
+type obsEntry struct {
+	id int
+	fn EventObserver
+}
+
+// WithEventObserver installs a protocol trace observer on the engine. It
+// occupies the same replaceable slot as SetEventObserver.
 func WithEventObserver(fn EventObserver) Option {
 	return func(e *Engine) { e.observer = fn }
 }
 
-// SetEventObserver installs (or clears, with nil) the observer at run time.
+// SetEventObserver installs (or clears, with nil) the replaceable observer
+// slot at run time. Observers added with AddEventObserver are unaffected.
 func (e *Engine) SetEventObserver(fn EventObserver) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.observer = fn
 }
 
-// emit delivers an event to the observer, if any.
-func (e *Engine) emit(ev Event) {
+// AddEventObserver registers fn alongside any existing observers — the
+// fan-out path that lets the telemetry exporter, the bench harness, and a
+// test all watch the same engine. The returned function removes fn;
+// calling it more than once is harmless. Observers run synchronously in
+// registration order, after the SetEventObserver slot.
+func (e *Engine) AddEventObserver(fn EventObserver) (remove func()) {
 	e.mu.Lock()
-	fn := e.observer
+	defer e.mu.Unlock()
+	e.observerSeq++
+	id := e.observerSeq
+	e.observers = append(e.observers, obsEntry{id: id, fn: fn})
+	return func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for i, o := range e.observers {
+			if o.id == id {
+				e.observers = append(e.observers[:i], e.observers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// emit delivers an event to every observer and folds it into the metrics
+// registry. Observer calls happen outside the engine lock.
+func (e *Engine) emit(ev Event) {
+	e.recordEventMetrics(ev)
+	e.mu.Lock()
+	fns := make([]EventObserver, 0, len(e.observers)+1)
+	if e.observer != nil {
+		fns = append(fns, e.observer)
+	}
+	for _, o := range e.observers {
+		fns = append(fns, o.fn)
+	}
 	e.mu.Unlock()
-	if fn != nil {
+	for _, fn := range fns {
 		fn(ev)
+	}
+}
+
+// recordEventMetrics maps protocol events onto the repl.* instruments.
+// Every instrument is nil — and every call below a no-op — when telemetry
+// is disabled.
+func (e *Engine) recordEventMetrics(ev Event) {
+	switch ev.Kind {
+	case EventFaultResolved:
+		e.met.faults.Inc()
+		if ev.FromHeap {
+			e.met.faultsHeap.Inc()
+		} else {
+			e.met.faultLatency.ObserveDuration(ev.Elapsed)
+		}
+	case EventPayloadAssembled:
+		e.met.assembled.Inc()
+		e.met.payloadObjs.Observe(int64(ev.Objects))
+		if ev.Clustered {
+			e.met.clustered.Inc()
+		} else {
+			e.met.batch.Inc()
+		}
+	case EventPayloadMaterialized:
+		e.met.materialized.Inc()
+	case EventPutShipped:
+		e.met.putsShipped.Inc()
+	case EventPutApplied:
+		e.met.putsApplied.Inc()
 	}
 }

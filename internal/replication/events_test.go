@@ -185,3 +185,60 @@ func derefDoc(t *testing.T, ref *objmodel.Ref) (*doc, error) {
 	t.Helper()
 	return objmodel.Deref[*doc](ref)
 }
+
+func TestAddEventObserverFanOut(t *testing.T) {
+	master, client := twoSites(t)
+
+	// Three observers on the client engine: the legacy slot plus two
+	// fan-out registrations. All must see the same events.
+	slotLog, addLogA, addLogB := &eventLog{}, &eventLog{}, &eventLog{}
+	client.engine.SetEventObserver(slotLog.observe)
+	removeA := client.engine.AddEventObserver(addLogA.observe)
+	removeB := client.engine.AddEventObserver(addLogB.observe)
+
+	docs := buildChain(t, master, 2, 8)
+	ref := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 2})
+	if _, err := client.engine.Replicate(ref, GetSpec{Mode: Incremental, Batch: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	nFault := len(slotLog.byKind(EventFaultResolved))
+	if nFault == 0 {
+		t.Fatal("slot observer saw no fault events")
+	}
+	for name, l := range map[string]*eventLog{"addA": addLogA, "addB": addLogB} {
+		if got := len(l.byKind(EventFaultResolved)); got != nFault {
+			t.Fatalf("%s saw %d fault events, slot saw %d", name, got, nFault)
+		}
+	}
+
+	// fault emits one more EventFaultResolved (served from the heap via
+	// identity dedupe — the docs are already replicated).
+	fault := func() {
+		ref2 := exportHead(t, master, client, docs[0], GetSpec{Mode: Incremental, Batch: 1})
+		if _, err := client.engine.Replicate(ref2, GetSpec{Mode: Incremental, Batch: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Removal detaches exactly that observer; double-remove is harmless.
+	removeA()
+	removeA()
+	beforeA := len(addLogA.byKind(EventFaultResolved))
+	fault()
+	if got := len(addLogA.byKind(EventFaultResolved)); got != beforeA {
+		t.Fatalf("removed observer still firing: %d -> %d", beforeA, got)
+	}
+	if got := len(addLogB.byKind(EventFaultResolved)); got <= nFault {
+		t.Fatalf("remaining observer stopped firing: %d", got)
+	}
+	removeB()
+
+	// The replaceable slot keeps its replace semantics.
+	client.engine.SetEventObserver(nil)
+	before := len(slotLog.byKind(EventFaultResolved))
+	fault()
+	if got := len(slotLog.byKind(EventFaultResolved)); got != before {
+		t.Fatalf("cleared slot observer still firing: %d -> %d", before, got)
+	}
+}

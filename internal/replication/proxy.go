@@ -8,6 +8,7 @@ import (
 	"obiwan/internal/invoke"
 	"obiwan/internal/objmodel"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 )
 
 // ProxyIn is the master-side half of a proxy pair: an RMI-exported object
@@ -22,39 +23,44 @@ type ProxyIn struct {
 
 // Get assembles and returns the replica payload for this object per spec.
 // requester identifies the demanding site for consistency bookkeeping.
-func (p *ProxyIn) Get(spec *GetSpec, requester string) (*Payload, error) {
+// The leading SpanContext is never sent by callers: the RMI skeleton
+// injects the serve span's context there (zero when the call was
+// untraced), which parents the assembly under the demanding site's fault.
+func (p *ProxyIn) Get(sc telemetry.SpanContext, spec *GetSpec, requester string) (*Payload, error) {
 	if spec == nil {
 		s := DefaultSpec
 		spec = &s
 	}
-	payload, err := p.eng.assemble(p.entry, *spec, requester)
+	payload, err := p.eng.assemble(sc, p.entry, *spec, requester)
 	if err != nil {
 		return nil, fmt.Errorf("proxy-in %v: %w", p.entry.OID, err)
 	}
 	return payload, nil
 }
 
-// Put applies a replica's state to the master object.
-func (p *ProxyIn) Put(req *PutRequest) (*PutReply, error) {
+// Put applies a replica's state to the master object. The SpanContext is
+// skeleton-injected (see Get).
+func (p *ProxyIn) Put(sc telemetry.SpanContext, req *PutRequest) (*PutReply, error) {
 	if req == nil {
 		return nil, fmt.Errorf("proxy-in %v: nil put request", p.entry.OID)
 	}
 	if objmodel.OID(req.OID) != p.entry.OID {
 		return nil, fmt.Errorf("proxy-in %v: put addressed to %d", p.entry.OID, req.OID)
 	}
-	return p.eng.applyPut(req)
+	return p.eng.applyPut(sc, req)
 }
 
 // PutCluster applies a whole-cluster update. Members must belong to the
 // cluster this proxy-in serves (they were shipped through it). The reply is
-// the new version of each member, in request order.
-func (p *ProxyIn) PutCluster(req *ClusterPutRequest) ([]any, error) {
+// the new version of each member, in request order. The SpanContext is
+// skeleton-injected (see Get).
+func (p *ProxyIn) PutCluster(sc telemetry.SpanContext, req *ClusterPutRequest) ([]any, error) {
 	if req == nil || len(req.Members) == 0 {
 		return nil, fmt.Errorf("proxy-in %v: empty cluster put", p.entry.OID)
 	}
 	versions := make([]any, 0, len(req.Members))
 	for i := range req.Members {
-		reply, err := p.eng.applyPut(&req.Members[i])
+		reply, err := p.eng.applyPut(sc, &req.Members[i])
 		if err != nil {
 			return nil, fmt.Errorf("cluster member %d (oid %v): %w", i, objmodel.OID(req.Members[i].OID), err)
 		}
@@ -110,7 +116,7 @@ func (p *ProxyOut) OID() objmodel.OID { return p.oid }
 // local heap when possible, otherwise demands the target (and its
 // batch/cluster) from the provider.
 func (p *ProxyOut) ResolveFault() (any, objmodel.RemoteInvoker, error) {
-	local, remote, err := p.demand(p.spec)
+	local, remote, err := p.demand(telemetry.SpanContext{}, p.spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,19 +125,29 @@ func (p *ProxyOut) ResolveFault() (any, objmodel.RemoteInvoker, error) {
 	return local, remote, nil
 }
 
-// demand fetches the target with an explicit spec.
-func (p *ProxyOut) demand(spec GetSpec) (any, objmodel.RemoteInvoker, error) {
+// demand fetches the target with an explicit spec. sc parents the "fault"
+// span — invalid sc roots a new trace (an implicit object fault is a
+// causal origin), while ReplicateTraced passes the caller's context so
+// programmatic demands nest under application spans.
+func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv objmodel.RemoteInvoker, err error) {
 	start := time.Now()
+	span := p.eng.startSpan(sc, "fault")
+	span.Annotate("oid", fmt.Sprint(p.oid))
+	defer func() {
+		span.SetErr(err)
+		span.End()
+	}()
 	// Fast path: the object is already replicated at this site (it arrived
 	// in someone else's batch). Identity dedupe binds to the same replica.
 	if p.oid != 0 {
 		if entry, ok := p.eng.heap.Get(p.oid); ok {
 			p.eng.gc.FaultServedFromHeap()
+			span.Annotate("from_heap", "true")
 			p.eng.emit(Event{Kind: EventFaultResolved, OID: p.oid, FromHeap: true, Elapsed: time.Since(start)})
 			return entry.Obj, p.remoteForEntry(entry), nil
 		}
 	}
-	res, err := p.eng.rt.CallTimeout(p.provider, BulkTimeout, "Get", &spec, string(p.eng.rt.Addr()))
+	res, err := p.eng.rt.CallTracedTimeout(span.Context(), p.provider, BulkTimeout, "Get", &spec, string(p.eng.rt.Addr()))
 	if err != nil {
 		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, wrapUnavailable(err))
 	}
@@ -139,7 +155,7 @@ func (p *ProxyOut) demand(spec GetSpec) (any, objmodel.RemoteInvoker, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("demand %v: unexpected reply %T", p.oid, res[0])
 	}
-	root, err := p.eng.materialize(payload)
+	root, err := p.eng.materialize(span.Context(), payload)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"obiwan/internal/netsim"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -46,6 +47,64 @@ func BenchmarkCallNull(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCallTelemetry compares the per-call cost of the three
+// telemetry states. "off" must match BenchmarkCallNull (the nil-check
+// fast path is the disabled price); "on-untraced" is a hub-bearing
+// runtime serving untraced calls (counters only, no spans); "on-traced"
+// pays for a client span, wire context, and a server span.
+func BenchmarkCallTelemetry(b *testing.B) {
+	run := func(b *testing.B, server, client *Runtime, sc telemetry.SpanContext) {
+		b.Helper()
+		ref, err := server.Export(&calculator{}, "Calculator")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.CallTraced(sc, ref, "Total"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.CallTraced(sc, ref, "Total"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		server, client := benchPair(b)
+		run(b, server, client, telemetry.SpanContext{})
+	})
+	newHubPair := func(b *testing.B) (*Runtime, *Runtime, *telemetry.Hub) {
+		b.Helper()
+		net := transport.NewMemNetwork(netsim.Profile{Name: "zero"})
+		serverHub := telemetry.NewHub("server")
+		clientHub := telemetry.NewHub("client")
+		server, err := NewRuntime(net, "server", WithTelemetry(serverHub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := NewRuntime(net, "client", WithTelemetry(clientHub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			_ = client.Close()
+			_ = server.Close()
+		})
+		return server, client, clientHub
+	}
+	b.Run("on-untraced", func(b *testing.B) {
+		server, client, _ := newHubPair(b)
+		run(b, server, client, telemetry.SpanContext{})
+	})
+	b.Run("on-traced", func(b *testing.B) {
+		server, client, hub := newHubPair(b)
+		root := hub.StartRoot("bench")
+		defer root.End()
+		run(b, server, client, root.Context())
+	})
 }
 
 func BenchmarkCallWithBytes(b *testing.B) {

@@ -3,9 +3,11 @@ package rmi
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 	"obiwan/internal/wire"
 )
@@ -48,7 +50,7 @@ func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
 	// Dial outside the lock: the simulated network may sleep.
 	conn, err := transport.NewReconnecting(rt.network, rt.local, addr, func(c transport.Conn) error {
 		return c.Send(wire.EncodeHello())
-	})
+	}, transport.WithRedialHook(func() { rt.met.reconnects.Inc() }))
 	if err != nil {
 		return nil, fmt.Errorf("rmi: dial %q: %w", addr, err)
 	}
@@ -156,13 +158,27 @@ func (c *clientConn) unregister(id uint64) {
 // Call invokes method on the remote object behind ref and waits for its
 // results, using the runtime's default timeout.
 func (rt *Runtime) Call(ref RemoteRef, method string, args ...any) ([]any, error) {
-	return rt.CallTimeout(ref, rt.callTimeout, method, args...)
+	return rt.CallTracedTimeout(telemetry.SpanContext{}, ref, rt.callTimeout, method, args...)
 }
 
 // CallTimeout is Call with an explicit deadline for this invocation.
 func (rt *Runtime) CallTimeout(ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
+	return rt.CallTracedTimeout(telemetry.SpanContext{}, ref, timeout, method, args...)
+}
+
+// CallTraced is Call under a causal parent: the invocation is recorded as
+// an "rmi:<method>" span beneath sc, and the span's context travels in the
+// Call frame so the server's serve span (and anything it causes) joins the
+// same trace. An invalid sc degrades to a plain Call.
+func (rt *Runtime) CallTraced(sc telemetry.SpanContext, ref RemoteRef, method string, args ...any) ([]any, error) {
+	return rt.CallTracedTimeout(sc, ref, rt.callTimeout, method, args...)
+}
+
+// CallTracedTimeout is CallTraced with an explicit deadline.
+func (rt *Runtime) CallTracedTimeout(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
 	start := time.Now()
-	results, err := rt.doCall(ref, timeout, method, args)
+	results, err := rt.doCall(sc, ref, timeout, method, args)
+	rt.met.latency.ObserveDuration(time.Since(start))
 	if rt.observer != nil {
 		rt.observer(ref.Addr, method, time.Since(start), err)
 	}
@@ -175,7 +191,13 @@ func (rt *Runtime) CallTimeout(ref RemoteRef, timeout time.Duration, method stri
 // matter how many times the frame is re-sent or on which connection it
 // arrives. timeout is the overall deadline for the invocation including
 // backoff waits.
-func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, error) {
+//
+// Tracing mirrors dedupe: one logical invocation is one "rmi:<method>"
+// span no matter how many attempts it takes — retries annotate the span
+// rather than minting siblings, and the frame (encoded once) carries the
+// same span context on every resend, so the server parents at most one
+// serve span under it.
+func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, error) {
 	if ref.IsZero() {
 		return nil, fmt.Errorf("rmi: call %s on zero reference", method)
 	}
@@ -184,11 +206,29 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 	id := rt.nextSeq
 	rt.mu.Unlock()
 
+	// A client span is minted only for calls that already have a causal
+	// parent: unparented plumbing traffic (nameserver lookups, pings) stays
+	// out of the span ring so replication traces remain rooted and stable.
+	// The context stamped on the wire is the span's own when recording,
+	// else sc verbatim — propagation survives even on a hub-less runtime.
+	wireSC := sc
+	var span *telemetry.Span
+	if rt.tel.Enabled() && sc.Valid() {
+		span = rt.tel.StartSpan(sc, "rmi:"+method)
+		wireSC = span.Context()
+	}
+	finish := func(results []any, err error) ([]any, error) {
+		span.SetErr(err)
+		span.End()
+		return results, err
+	}
+
 	frame, err := wire.EncodeCall(rt.reg, &wire.Call{
-		ID: id, Target: uint64(ref.ID), Method: method, Client: rt.clientID, Args: args,
+		ID: id, Target: uint64(ref.ID), Method: method, Client: rt.clientID,
+		TraceID: wireSC.TraceID, SpanID: wireSC.SpanID, Args: args,
 	})
 	if err != nil {
-		return nil, err
+		return finish(nil, err)
 	}
 
 	deadline := time.Now().Add(timeout)
@@ -199,28 +239,31 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 	for attempt := 1; attempt <= rt.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			rt.stats.retries.Add(1)
+			rt.met.retries.Inc()
+			span.Annotate("attempt", strconv.Itoa(attempt))
 			if !rt.sleepBackoff(attempt-1, deadline) {
 				select {
 				case <-rt.closed:
-					return nil, ErrRuntimeClosed
+					return finish(nil, ErrRuntimeClosed)
 				default:
 				}
-				return nil, fmt.Errorf("%w: %s to %q after %v (last error: %w)",
-					ErrTimeout, method, ref.Addr, timeout, lastErr)
+				return finish(nil, fmt.Errorf("%w: %s to %q after %v (last error: %w)",
+					ErrTimeout, method, ref.Addr, timeout, lastErr))
 			}
 		}
 
 		conn, err := rt.getConn(ref.Addr)
 		if err != nil {
 			if errors.Is(err, ErrRuntimeClosed) {
-				return nil, err
+				return finish(nil, err)
 			}
 			rt.stats.sendErrors.Add(1)
+			rt.met.sendErrors.Inc()
 			lastErr = err
 			if transport.IsTransient(err) {
 				continue
 			}
-			return nil, err
+			return finish(nil, err)
 		}
 		ch, err := conn.register(id)
 		if err != nil {
@@ -236,6 +279,7 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 		if sendErr != nil {
 			conn.unregister(id)
 			rt.stats.sendErrors.Add(1)
+			rt.met.sendErrors.Inc()
 			lastErr = fmt.Errorf("rmi: send %s to %q: %w", method, ref.Addr, sendErr)
 			if errors.Is(sendErr, transport.ErrClosed) {
 				// Terminally dead (redial inside the connection failed too):
@@ -248,10 +292,12 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 				// paper's mobile host reuses it after reconnecting.
 				continue
 			}
-			return nil, lastErr
+			return finish(nil, lastErr)
 		}
 		rt.stats.callsSent.Add(1)
+		rt.met.calls.Inc()
 		rt.stats.bytesSent.Add(uint64(len(frame)))
+		rt.met.bytesSent.Add(uint64(len(frame)))
 
 		// Wait for the reply: bounded by the per-try budget when the policy
 		// sets one (lost replies are then recovered by re-sending), always
@@ -264,7 +310,7 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 		}
 		if wait <= 0 {
 			conn.unregister(id)
-			return nil, timeoutErr()
+			return finish(nil, timeoutErr())
 		}
 		timer := time.NewTimer(wait)
 		select {
@@ -272,19 +318,20 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 			timer.Stop()
 			switch m := msg.(type) {
 			case *wire.Reply:
-				return m.Results, nil
+				return finish(m.Results, nil)
 			case *wire.Fault:
 				rt.stats.remoteFaults.Add(1)
-				return nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message}
+				rt.met.remoteFaults.Inc()
+				return finish(nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message})
 			case error:
 				// The connection failed while we were waiting.
 				lastErr = m
 				if transport.IsTransient(m) {
 					continue
 				}
-				return nil, m
+				return finish(nil, m)
 			default:
-				return nil, fmt.Errorf("rmi: unexpected response %T", msg)
+				return finish(nil, fmt.Errorf("rmi: unexpected response %T", msg))
 			}
 		case <-timer.C:
 			conn.unregister(id)
@@ -292,13 +339,13 @@ func (rt *Runtime) doCall(ref RemoteRef, timeout time.Duration, method string, a
 			if perTry {
 				continue
 			}
-			return nil, lastErr
+			return finish(nil, lastErr)
 		case <-rt.closed:
 			timer.Stop()
 			conn.unregister(id)
-			return nil, ErrRuntimeClosed
+			return finish(nil, ErrRuntimeClosed)
 		}
 	}
-	return nil, fmt.Errorf("rmi: %s to %q failed after %d attempts: %w",
-		method, ref.Addr, rt.retry.MaxAttempts, lastErr)
+	return finish(nil, fmt.Errorf("rmi: %s to %q failed after %d attempts: %w",
+		method, ref.Addr, rt.retry.MaxAttempts, lastErr))
 }

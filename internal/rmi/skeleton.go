@@ -6,8 +6,13 @@ import (
 	"reflect"
 
 	"obiwan/internal/invoke"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/wire"
 )
+
+// spanContextType marks methods that opt into receiving the serve-side
+// trace context as their first parameter.
+var spanContextType = reflect.TypeOf(telemetry.SpanContext{})
 
 // skeleton is the server-side dispatcher for one exported object: the Go
 // analogue of the skeleton classes Java RMI generated. Dispatch itself is
@@ -15,6 +20,13 @@ import (
 type skeleton struct {
 	recv    reflect.Value
 	methods map[string]reflect.Method
+	// wantsSC marks methods whose first parameter is telemetry.SpanContext.
+	// The skeleton injects the serve span's context there — the caller never
+	// sends it — so replication handlers can parent their own spans under
+	// the inbound call without the trace context leaking into the remote
+	// method signature seen by clients. When telemetry is off the injected
+	// context is the zero value, keeping argument counts stable either way.
+	wantsSC map[string]bool
 }
 
 // newSkeleton builds a skeleton for obj. Objects with no exported methods
@@ -28,13 +40,28 @@ func newSkeleton(obj any) (*skeleton, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rmi: %w", err)
 	}
-	return &skeleton{recv: rv, methods: methods}, nil
+	wantsSC := make(map[string]bool)
+	for name, m := range methods {
+		// m.Type includes the receiver at In(0); In(1) is the first
+		// declared parameter.
+		if m.Type.NumIn() >= 2 && m.Type.In(1) == spanContextType {
+			wantsSC[name] = true
+		}
+	}
+	return &skeleton{recv: rv, methods: methods, wantsSC: wantsSC}, nil
 }
 
 // invoke runs method with args and returns either result values or a wire
-// fault. A trailing error result is stripped: nil vanishes, non-nil becomes
-// a FaultApp (the remote-exception path).
-func (sk *skeleton) invoke(method string, args []any) ([]any, *wire.Fault) {
+// fault. sc is the serve span's context, prepended to args for methods
+// declaring a leading telemetry.SpanContext parameter. A trailing error
+// result is stripped: nil vanishes, non-nil becomes a FaultApp (the
+// remote-exception path).
+func (sk *skeleton) invoke(method string, args []any, sc telemetry.SpanContext) ([]any, *wire.Fault) {
+	if sk.wantsSC[method] {
+		withSC := make([]any, 0, len(args)+1)
+		withSC = append(withSC, sc)
+		args = append(withSC, args...)
+	}
 	results, err := invoke.CallWithTable(sk.recv, sk.methods, method, args)
 	if err == nil {
 		return results, nil

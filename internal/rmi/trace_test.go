@@ -1,0 +1,143 @@
+package rmi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// newTracedPair is newRetryPair with a telemetry hub on each side.
+func newTracedPair(t *testing.T, p RetryPolicy) (server, client *Runtime, net *transport.MemNetwork, serverHub, clientHub *telemetry.Hub) {
+	t.Helper()
+	net = transport.NewMemNetwork(netsim.Loopback)
+	serverHub = telemetry.NewHub("server")
+	clientHub = telemetry.NewHub("client")
+	var err error
+	server, err = NewRuntime(net, "server", WithTelemetry(serverHub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err = NewRuntime(net, "client", WithRetryPolicy(p), WithTelemetry(clientHub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+	})
+	return server, client, net, serverHub, clientHub
+}
+
+// spansNamed filters finished spans by name.
+func spansNamed(spans []telemetry.SpanRecord, name string) []telemetry.SpanRecord {
+	var out []telemetry.SpanRecord
+	for _, sp := range spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func TestTraceRetriedCallIsOneLogicalSpan(t *testing.T) {
+	// A dropped reply forces a resend that the server answers from its
+	// dedupe table. The retried call must stay ONE logical operation in the
+	// trace: one client span (annotated with the resend attempt) and one
+	// server span — the suppressed duplicate mints nothing.
+	server, client, net, serverHub, clientHub := newTracedPair(t, fastRetry(4, 30*time.Millisecond))
+	calc := &calculator{}
+	ref, _ := server.Export(calc, "Calculator")
+	if _, err := client.Call(ref, "Accumulate", int64(7)); err != nil { // warm, untraced
+		t.Fatal(err)
+	}
+	net.SetFaultSchedule("server", "client", netsim.NewFaultSchedule(
+		netsim.FaultEvent{AtSend: 1, Action: netsim.ActDrop},
+	))
+
+	root := clientHub.StartRoot("test")
+	if _, err := client.CallTraced(root.Context(), ref, "Accumulate", int64(5)); err != nil {
+		t.Fatalf("traced call with dropped reply: %v", err)
+	}
+	root.End()
+	if calc.Total() != 12 {
+		t.Fatalf("accumulated %d, want 12", calc.Total())
+	}
+	if got := server.Stats().DupsSuppressed; got != 1 {
+		t.Fatalf("duplicates suppressed = %d, want 1", got)
+	}
+
+	clientCalls := spansNamed(clientHub.Spans(0), "rmi:Accumulate")
+	if len(clientCalls) != 1 {
+		t.Fatalf("client rmi spans = %d, want 1 (one logical span per retried call)", len(clientCalls))
+	}
+	cs := clientCalls[0]
+	if cs.Parent != root.Context().SpanID || cs.TraceID != root.Context().TraceID {
+		t.Fatalf("client span not parented under root: %+v", cs)
+	}
+	if !strings.Contains(strings.Join(cs.Attrs, " "), "attempt=2") {
+		t.Fatalf("retried client span missing attempt annotation: %v", cs.Attrs)
+	}
+
+	serves := spansNamed(serverHub.Spans(0), "serve:Accumulate")
+	if len(serves) != 1 {
+		t.Fatalf("server serve spans = %d, want 1 (dedupe-suppressed resend must not re-span)", len(serves))
+	}
+	ss := serves[0]
+	if ss.TraceID != cs.TraceID || ss.Parent != cs.SpanID {
+		t.Fatalf("serve span not a child of the client span: serve=%+v client=%+v", ss, cs)
+	}
+
+	// The untraced warm call minted nothing anywhere.
+	if got := len(clientHub.Spans(0)); got != 2 { // rmi span + root
+		t.Fatalf("client finished spans = %d, want 2", got)
+	}
+	if got := len(serverHub.Spans(0)); got != 1 {
+		t.Fatalf("server finished spans = %d, want 1", got)
+	}
+}
+
+func TestUntracedCallsCarryNoContextAndCostNoSpans(t *testing.T) {
+	server, client, _, serverHub, clientHub := newTracedPair(t, NoRetry())
+	ref, _ := server.Export(&calculator{}, "Calculator")
+	if _, err := client.Call(ref, "Add", int64(2), int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(clientHub.Spans(0)) + len(serverHub.Spans(0)); n != 0 {
+		t.Fatalf("untraced call minted %d spans", n)
+	}
+}
+
+func TestTraceContextFlowsThroughHublessRuntime(t *testing.T) {
+	// A runtime without a hub forwards an inbound context verbatim: the
+	// caller's trace still reaches the server even though the middle mints
+	// no spans of its own.
+	net := transport.NewMemNetwork(netsim.Loopback)
+	serverHub := telemetry.NewHub("server")
+	server, err := NewRuntime(net, "server", WithTelemetry(serverHub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewRuntime(net, "client") // no hub
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer server.Close()
+	ref, _ := server.Export(&calculator{}, "Calculator")
+
+	sc := telemetry.SpanContext{TraceID: 42, SpanID: 99}
+	if _, err := client.CallTraced(sc, ref, "Add", int64(1), int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	serves := spansNamed(serverHub.Spans(0), "serve:Add")
+	if len(serves) != 1 {
+		t.Fatalf("serve spans = %d, want 1", len(serves))
+	}
+	if serves[0].TraceID != 42 || serves[0].Parent != 99 {
+		t.Fatalf("context not forwarded verbatim: %+v", serves[0])
+	}
+}

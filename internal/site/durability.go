@@ -441,7 +441,11 @@ func (d *durability) compactNow() error {
 	if err != nil {
 		return err
 	}
-	return d.store.Compact(records)
+	if err := d.store.Compact(records); err != nil {
+		return err
+	}
+	d.site.met.compactions.Inc()
+	return nil
 }
 
 // startCompactor launches the background compaction goroutine.

@@ -27,6 +27,7 @@ import (
 	"obiwan/internal/qos"
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 	"obiwan/internal/wal"
 )
@@ -56,6 +57,8 @@ type options struct {
 	callTimeout time.Duration
 	retry       *rmi.RetryPolicy
 	walDir      string
+	tel         *telemetry.Hub
+	noTel       bool
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -106,6 +109,16 @@ func WithRetry(p rmi.RetryPolicy) Option { return func(o *options) { o.retry = &
 // number, so peers never confuse it with its previous life.
 func WithDurability(dir string) Option { return func(o *options) { o.walDir = dir } }
 
+// WithTelemetry installs a custom telemetry hub — typically one built with
+// telemetry.WithClock for deterministic traces under netsim. By default a
+// site creates its own enabled hub named after itself.
+func WithTelemetry(h *telemetry.Hub) Option { return func(o *options) { o.tel = h } }
+
+// WithoutTelemetry disables tracing and metrics for this site. Every
+// instrument call collapses to a nil-check no-op, and the admin Metrics
+// and Traces endpoints report empty snapshots.
+func WithoutTelemetry() Option { return func(o *options) { o.noTel = true } }
+
 // Site is one OBIWAN process.
 type Site struct {
 	name    string
@@ -119,6 +132,16 @@ type Site struct {
 	inval   *consistency.Invalidation
 	spec    replication.GetSpec
 	applier *dissemination.Applier
+	tel     *telemetry.Hub // nil when built WithoutTelemetry
+
+	// met holds the site-level instruments, pre-resolved once at
+	// construction; all are nil-safe no-ops when telemetry is off.
+	met struct {
+		syncedDirty    *telemetry.Counter
+		refreshedStale *telemetry.Counter
+		compactions    *telemetry.Counter
+		walFsync       *telemetry.Histogram
+	}
 
 	durable *durability // nil for in-memory sites
 
@@ -145,6 +168,13 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	if o.siteID == 0 {
 		o.siteID = hashSiteID(name)
 	}
+	hub := o.tel
+	if hub == nil && !o.noTel {
+		hub = telemetry.NewHub(name)
+	}
+	if o.noTel {
+		hub = nil
+	}
 
 	// Durable sites open their WAL before anything else: the persisted
 	// incarnation number must flow into the RMI client identity, and the
@@ -168,6 +198,7 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	rtOpts := []rmi.Option{
 		rmi.WithObserver(monitor.Observe),
 		rmi.WithCallTimeout(o.callTimeout),
+		rmi.WithTelemetry(hub),
 	}
 	if o.retry != nil {
 		rtOpts = append(rtOpts, rmi.WithRetryPolicy(*o.retry))
@@ -191,6 +222,19 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		stale:   consistency.NewStaleSet(),
 		lease:   o.lease,
 		spec:    o.defaultSpec,
+		tel:     hub,
+	}
+	if m := hub.Metrics(); m != nil {
+		s.met.syncedDirty = m.Counter("site.sync.dirty")
+		s.met.refreshedStale = m.Counter("site.refresh.stale")
+		s.met.compactions = m.Counter("wal.compactions")
+		s.met.walFsync = m.Histogram("wal.fsync_ns")
+	}
+	if store != nil && hub.Enabled() {
+		// Bridge WAL fsync timings into the registry without the wal
+		// package importing telemetry. ObserveDuration is lock-free, so
+		// running it under the store's sync mutex is fine.
+		store.SetSyncObserver(s.met.walFsync.ObserveDuration)
 	}
 
 	// The invalidation sink is always exported first and the update sink
@@ -210,6 +254,7 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	s.basePolicy = policy
 	engineOpts := []replication.Option{
 		replication.WithCrossover(s.crossover),
+		replication.WithTelemetry(hub),
 	}
 	if o.invalidate {
 		inval := consistency.NewInvalidation(s.notifyHolder)
@@ -234,7 +279,7 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		return nil, fmt.Errorf("site %q: update sink landed at id %d, want %d", name, upRef.ID, updateSinkID)
 	}
 
-	adminRef, err := rt.Export(admin.NewService(name, rt, s.heap, s.engine), admin.Iface)
+	adminRef, err := rt.Export(admin.NewService(name, rt, s.heap, s.engine, hub), admin.Iface)
 	if err != nil {
 		_ = rt.Close()
 		return nil, fmt.Errorf("site %q: export admin: %w", name, err)
@@ -282,6 +327,18 @@ func AdminRef(addr transport.Addr) rmi.RemoteRef {
 // Inspect queries a peer site's admin service from this site.
 func (s *Site) Inspect(addr transport.Addr) (*admin.SiteReport, error) {
 	return admin.NewClient(s.rt, AdminRef(addr)).Report()
+}
+
+// InspectMetrics fetches a peer site's live metrics snapshot. A peer
+// running without telemetry answers with an empty snapshot.
+func (s *Site) InspectMetrics(addr transport.Addr) (*telemetry.MetricsSnapshot, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Metrics()
+}
+
+// InspectTraces fetches up to max recent finished spans from a peer site
+// (0: everything its ring retains).
+func (s *Site) InspectTraces(addr transport.Addr, max uint64) (*telemetry.TraceDump, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Traces(max)
 }
 
 // hashSiteID derives a stable non-zero 16-bit id from the site name (FNV-1a).
@@ -342,6 +399,10 @@ func (s *Site) Runtime() *rmi.Runtime { return s.rt }
 
 // Monitor exposes the QoS monitor.
 func (s *Site) Monitor() *qos.Monitor { return s.monitor }
+
+// Telemetry exposes the site's hub — nil when built WithoutTelemetry.
+// Safe to call methods on either way: a nil hub no-ops.
+func (s *Site) Telemetry() *telemetry.Hub { return s.tel }
 
 // StaleSet exposes the invalidation ledger.
 func (s *Site) StaleSet() *consistency.StaleSet { return s.stale }
@@ -452,6 +513,13 @@ func (s *Site) Replicate(ref *objmodel.Ref, spec replication.GetSpec) (any, erro
 	return s.engine.Replicate(ref, spec)
 }
 
+// ReplicateTraced is Replicate under an explicit trace context: the demand
+// protocol's fault/assemble/materialize spans nest beneath sc instead of
+// rooting a fresh trace.
+func (s *Site) ReplicateTraced(sc telemetry.SpanContext, ref *objmodel.Ref, spec replication.GetSpec) (any, error) {
+	return s.engine.ReplicateTraced(sc, ref, spec)
+}
+
 // Put ships a replica's state back to its master.
 func (s *Site) Put(obj any) error { return s.engine.Put(obj) }
 
@@ -518,6 +586,7 @@ func (s *Site) SyncDirty() (int, error) {
 			continue
 		}
 		synced++
+		s.met.syncedDirty.Inc()
 	}
 	return synced, firstErr
 }
@@ -540,6 +609,7 @@ func (s *Site) RefreshStale() (int, error) {
 			continue
 		}
 		refreshed++
+		s.met.refreshedStale.Inc()
 	}
 	return refreshed, firstErr
 }

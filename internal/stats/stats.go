@@ -8,27 +8,66 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Summary accumulates duration samples. Not safe for concurrent use; the
-// harness measures single-threaded.
+// Summary accumulates duration samples. Safe for concurrent use: the
+// bench harness historically measured single-threaded, but the telemetry
+// layer now feeds summaries from many goroutines, so every method takes
+// the summary's lock. Per-worker summaries can still be kept lock-cheap
+// and combined at the end with Merge.
 type Summary struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
 }
 
 // Add records one sample.
 func (s *Summary) Add(d time.Duration) {
+	s.mu.Lock()
 	s.samples = append(s.samples, d)
 	s.sorted = false
+	s.mu.Unlock()
+}
+
+// Merge folds other's samples into s (the sharded-accumulation pattern:
+// one Summary per goroutine, merged once at the end). Merging a summary
+// into itself is a no-op.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || other == s {
+		return
+	}
+	// Lock order: always other before s would deadlock against a
+	// concurrent s.Merge(other) from the other side; copy out instead of
+	// holding both locks.
+	other.mu.Lock()
+	samples := append([]time.Duration(nil), other.samples...)
+	other.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, samples...)
+	s.sorted = false
+	s.mu.Unlock()
 }
 
 // Count returns the number of samples.
-func (s *Summary) Count() int { return len(s.samples) }
+func (s *Summary) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
 
 // Total returns the sum of all samples.
 func (s *Summary) Total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked()
+}
+
+func (s *Summary) totalLocked() time.Duration {
 	var t time.Duration
 	for _, d := range s.samples {
 		t += d
@@ -38,15 +77,19 @@ func (s *Summary) Total() time.Duration {
 
 // Mean returns the average sample (0 with no samples).
 func (s *Summary) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.samples) == 0 {
 		return 0
 	}
-	return s.Total() / time.Duration(len(s.samples))
+	return s.totalLocked() / time.Duration(len(s.samples))
 }
 
 // Min returns the smallest sample (0 with no samples).
 func (s *Summary) Min() time.Duration {
-	s.sort()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -55,7 +98,9 @@ func (s *Summary) Min() time.Duration {
 
 // Max returns the largest sample (0 with no samples).
 func (s *Summary) Max() time.Duration {
-	s.sort()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -65,7 +110,9 @@ func (s *Summary) Max() time.Duration {
 // Percentile returns the p-th percentile (p in [0,100]) by the
 // nearest-rank method.
 func (s *Summary) Percentile(p float64) time.Duration {
-	s.sort()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
 	n := len(s.samples)
 	if n == 0 {
 		return 0
@@ -86,7 +133,7 @@ func (s *Summary) Percentile(p float64) time.Duration {
 	return s.samples[rank]
 }
 
-func (s *Summary) sort() {
+func (s *Summary) sortLocked() {
 	if s.sorted {
 		return
 	}

@@ -3,6 +3,7 @@ package stats
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -100,4 +101,42 @@ func TestTableCSV(t *testing.T) {
 	if got != "a,b\n1,x\n" {
 		t.Fatalf("csv: %q", got)
 	}
+}
+
+func TestSummaryConcurrentAddAndMerge(t *testing.T) {
+	var total Summary
+	var wg sync.WaitGroup
+	shards := make([]*Summary, 8)
+	for i := range shards {
+		shards[i] = &Summary{}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				total.Add(time.Duration(i+1) * time.Microsecond) // shared, concurrent
+				shards[g].Add(time.Duration(i+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total.Count() != 4000 {
+		t.Fatalf("concurrent adds lost samples: %d", total.Count())
+	}
+	var merged Summary
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if merged.Count() != 4000 || merged.Min() != time.Microsecond || merged.Max() != 500*time.Microsecond {
+		t.Fatalf("merge: count=%d min=%v max=%v", merged.Count(), merged.Min(), merged.Max())
+	}
+	if merged.Total() != total.Total() {
+		t.Fatalf("merge total %v != concurrent total %v", merged.Total(), total.Total())
+	}
+	merged.Merge(&merged) // self-merge no-ops
+	if merged.Count() != 4000 {
+		t.Fatalf("self-merge duplicated: %d", merged.Count())
+	}
+	merged.Merge(nil)
 }

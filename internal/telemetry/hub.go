@@ -1,0 +1,116 @@
+package telemetry
+
+import "time"
+
+// Hub bundles one site's tracer and metrics registry. A nil *Hub is the
+// disabled state: every method no-ops or returns nil instruments, so the
+// instrumented hot paths cost one nil check when telemetry is off.
+type Hub struct {
+	site    string
+	tracer  *Tracer
+	metrics *Metrics
+	clock   func() time.Time
+}
+
+// HubOption configures a Hub.
+type HubOption func(*hubConfig)
+
+type hubConfig struct {
+	clock    func() time.Time
+	capacity int
+}
+
+// WithClock injects the hub's time source — how netsim scenarios keep
+// span timestamps deterministic. Defaults to time.Now.
+func WithClock(clock func() time.Time) HubOption {
+	return func(c *hubConfig) { c.clock = clock }
+}
+
+// WithSpanCapacity sets the finished-span ring size (default 4096).
+func WithSpanCapacity(n int) HubOption {
+	return func(c *hubConfig) { c.capacity = n }
+}
+
+// NewHub builds the telemetry hub for the named site.
+func NewHub(site string, opts ...HubOption) *Hub {
+	cfg := hubConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	clock := cfg.clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Hub{
+		site:    site,
+		tracer:  newTracer(site, clock, cfg.capacity),
+		metrics: NewMetrics(),
+		clock:   clock,
+	}
+}
+
+// Enabled reports whether telemetry is on.
+func (h *Hub) Enabled() bool { return h != nil }
+
+// Site returns the owning site's name ("" when disabled).
+func (h *Hub) Site() string {
+	if h == nil {
+		return ""
+	}
+	return h.site
+}
+
+// Metrics returns the registry (nil when disabled — instruments resolved
+// from it are nil and no-op).
+func (h *Hub) Metrics() *Metrics {
+	if h == nil {
+		return nil
+	}
+	return h.metrics
+}
+
+// Tracer returns the span recorder (nil when disabled).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer
+}
+
+// Now returns the hub's clock reading (wall clock when disabled).
+func (h *Hub) Now() time.Time {
+	if h == nil {
+		return time.Now()
+	}
+	return h.clock()
+}
+
+// StartSpan begins a span under parent; an invalid parent roots a new
+// trace. Returns nil (a no-op span) when the hub is disabled.
+func (h *Hub) StartSpan(parent SpanContext, name string) *Span {
+	if h == nil {
+		return nil
+	}
+	return h.tracer.start(parent, name)
+}
+
+// StartRoot begins a new trace.
+func (h *Hub) StartRoot(name string) *Span {
+	return h.StartSpan(SpanContext{}, name)
+}
+
+// MetricsSnapshot exports the current metrics state.
+func (h *Hub) MetricsSnapshot() *MetricsSnapshot {
+	if h == nil {
+		return &MetricsSnapshot{}
+	}
+	return h.metrics.Snapshot(h.site, h.clock().UnixNano())
+}
+
+// Spans returns up to max recent finished spans, oldest first.
+func (h *Hub) Spans(max int) []SpanRecord {
+	if h == nil {
+		return nil
+	}
+	return h.tracer.Snapshot(max)
+}

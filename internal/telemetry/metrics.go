@@ -1,0 +1,398 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// (telemetry disabled) no-ops.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histShards spreads concurrent observers across independent atomics so a
+// hot call path never serializes on one cache line.
+const histShards = 8
+
+// histBuckets is one power-of-two bucket per value magnitude: bucket i
+// holds values whose bit length is i, i.e. [2^(i-1), 2^i).
+const histBuckets = 65
+
+type histShard struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+	_       [64]byte // shard padding against false sharing
+}
+
+// Histogram is a lock-free sharded streaming histogram over non-negative
+// int64 values (durations in nanoseconds, sizes, counts). Observations
+// land in power-of-two buckets, so memory is fixed no matter how many
+// samples arrive; percentiles are bucket-resolution estimates. A nil
+// *Histogram no-ops.
+type Histogram struct {
+	shards [histShards]histShard
+	pick   atomic.Uint32
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.shards[h.pick.Add(1)%histShards]
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.buckets[bits.Len64(uint64(v))].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// snapshot merges all shards into an exported value.
+func (h *Histogram) snapshot(name string) HistogramValue {
+	out := HistogramValue{Name: name}
+	var merged [histBuckets]uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			merged[b] += s.buckets[b].Load()
+		}
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.Min = h.min.Load()
+	out.Max = h.max.Load()
+	for b, n := range merged {
+		if n == 0 {
+			continue
+		}
+		le := int64(math.MaxInt64)
+		if b < 63 {
+			le = (int64(1) << b) - 1
+		}
+		out.Buckets = append(out.Buckets, BucketCount{Le: le, Count: n})
+	}
+	out.P50 = quantile(merged[:], out.Count, 0.50, out.Min, out.Max)
+	out.P90 = quantile(merged[:], out.Count, 0.90, out.Min, out.Max)
+	out.P99 = quantile(merged[:], out.Count, 0.99, out.Min, out.Max)
+	return out
+}
+
+// quantile estimates the q-th quantile from power-of-two buckets: the
+// answer is the upper bound of the bucket holding the q-th sample,
+// clamped into [min, max].
+func quantile(buckets []uint64, total uint64, q float64, min, max int64) int64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, n := range buckets {
+		cum += n
+		if cum > rank {
+			le := int64(math.MaxInt64)
+			if b < 63 {
+				le = (int64(1) << b) - 1
+			}
+			if le < min {
+				le = min
+			}
+			if le > max {
+				le = max
+			}
+			return le
+		}
+	}
+	return max
+}
+
+// BucketCount is one non-empty histogram bucket: Count values ≤ Le (and
+// greater than the previous bucket's bound).
+type BucketCount struct {
+	Le    int64
+	Count uint64
+}
+
+// CounterValue is one exported counter.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one exported gauge.
+type GaugeValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramValue is one exported histogram: totals, bucket-resolution
+// percentiles, and the non-empty buckets themselves.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     int64
+	Min     int64
+	Max     int64
+	P50     int64
+	P90     int64
+	P99     int64
+	Buckets []BucketCount
+}
+
+// MetricsSnapshot is a site's full metrics state at one instant, sorted
+// by name for deterministic rendering and diffing.
+type MetricsSnapshot struct {
+	Site       string
+	TakenAtNS  int64
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+func init() {
+	codec.MustRegister("obiwan.telemetry.BucketCount", BucketCount{})
+	codec.MustRegister("obiwan.telemetry.CounterValue", CounterValue{})
+	codec.MustRegister("obiwan.telemetry.GaugeValue", GaugeValue{})
+	codec.MustRegister("obiwan.telemetry.HistogramValue", HistogramValue{})
+	codec.MustRegister("obiwan.telemetry.MetricsSnapshot", MetricsSnapshot{})
+}
+
+// Get returns the named counter's value, or 0.
+func (s *MetricsSnapshot) Get(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GetHistogram returns the named histogram, or a zero value.
+func (s *MetricsSnapshot) GetHistogram(name string) HistogramValue {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistogramValue{}
+}
+
+// Format renders the snapshot as aligned tables (the obiwan-admin
+// output).
+func (s *MetricsSnapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics for site %q\n\n", s.Site)
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+		t := stats.NewTable("name", "value")
+		for _, c := range s.Counters {
+			t.AddRow(c.Name, c.Value)
+		}
+		for _, g := range s.Gauges {
+			t.AddRow(g.Name, g.Value)
+		}
+		_, _ = t.WriteTo(&b)
+		b.WriteByte('\n')
+	}
+	if len(s.Histograms) > 0 {
+		t := stats.NewTable("histogram", "count", "min", "p50", "p90", "p99", "max")
+		for _, h := range s.Histograms {
+			if strings.HasSuffix(h.Name, "_ns") {
+				t.AddRow(h.Name, h.Count,
+					time.Duration(h.Min), time.Duration(h.P50),
+					time.Duration(h.P90), time.Duration(h.P99), time.Duration(h.Max))
+			} else {
+				t.AddRow(h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.Max)
+			}
+		}
+		_, _ = t.WriteTo(&b)
+	}
+	return b.String()
+}
+
+// Metrics is a site's metric registry: named counters, gauges, and
+// histograms, created on first use. All methods are safe for concurrent
+// use, and every method on a nil *Metrics (telemetry disabled) returns a
+// nil instrument whose operations no-op — instrumented code resolves its
+// instruments once and never branches again.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Durations
+// are recorded in nanoseconds; by convention their names end in "_ns".
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram()
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot exports every instrument, sorted by name.
+func (m *Metrics) Snapshot(site string, nowNS int64) *MetricsSnapshot {
+	out := &MetricsSnapshot{Site: site, TakenAtNS: nowNS}
+	if m == nil {
+		return out
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
+		hists[k] = v
+	}
+	m.mu.Unlock()
+
+	for name, c := range counters {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: c.Load()})
+	}
+	for name, g := range gauges {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: g.Load()})
+	}
+	for name, h := range hists {
+		out.Histograms = append(out.Histograms, h.snapshot(name))
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}

@@ -1,0 +1,357 @@
+// Package telemetry is the observability layer of the OBIWAN runtime:
+// causal trace propagation across RMI hops and a per-site metrics
+// registry, both exported live through the admin service.
+//
+// The paper's central claims (figures 4–6) are about where time goes when
+// an object fault at one site cascades into a demand RMI, a payload
+// assembly at the provider, and a materialization back at the faulting
+// site. Single-site replication events cannot show that chain; this
+// package links the steps into one rooted span tree by carrying a compact
+// trace context (trace id + parent span id) inside wire.Call frames.
+//
+// Design constraints, in order:
+//
+//   - Near-zero cost when disabled: every entry point is a nil-receiver
+//     no-op, so an un-instrumented runtime pays one nil check per call.
+//   - Deterministic under netsim: span ids are minted from a per-site
+//     counter salted with the site name, and the clock is injectable, so
+//     a seeded scenario produces the same tree — ids included — on every
+//     run.
+//   - Bounded memory: finished spans land in a fixed-size ring; metrics
+//     are counters, gauges, and fixed-bucket histograms.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"obiwan/internal/codec"
+)
+
+// SpanContext is the compact causal identity carried in wire.Call frames:
+// which trace an operation belongs to and which span caused it. The zero
+// value means "not traced" and propagates as absence.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether sc names a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// SpanRecord is one finished span, as exported over the admin service.
+// Times are nanoseconds on the owning site's (possibly injected) clock;
+// they order spans within a site but are not comparable across sites.
+type SpanRecord struct {
+	TraceID uint64
+	SpanID  uint64
+	// Parent is the causing span's id (possibly on another site), 0 for
+	// trace roots.
+	Parent uint64
+	// Site is the name of the site that recorded the span.
+	Site string
+	// Name is the operation: "fault", "rmi:Get", "serve:Get", "assemble",
+	// "materialize", "put.apply", ...
+	Name    string
+	StartNS int64
+	EndNS   int64
+	// Attrs are "key=value" annotations in append order (retry attempts,
+	// object ids, payload sizes).
+	Attrs []string
+	// Err is the operation's error text, empty on success.
+	Err string
+}
+
+func (r SpanRecord) String() string {
+	d := time.Duration(r.EndNS - r.StartNS)
+	s := fmt.Sprintf("%s %s trace=%x span=%x parent=%x %v", r.Site, r.Name, r.TraceID, r.SpanID, r.Parent, d)
+	for _, a := range r.Attrs {
+		s += " " + a
+	}
+	if r.Err != "" {
+		s += " err=" + r.Err
+	}
+	return s
+}
+
+func init() {
+	codec.MustRegister("obiwan.telemetry.SpanRecord", SpanRecord{})
+	codec.MustRegister("obiwan.telemetry.TraceDump", TraceDump{})
+}
+
+// TraceDump wraps exported spans for RMI transport.
+type TraceDump struct {
+	Site  string
+	Spans []SpanRecord
+}
+
+// Span is an in-progress operation. A nil *Span is the disabled fast
+// path: every method is a nil-receiver no-op, so instrumented code never
+// branches on whether telemetry is on.
+type Span struct {
+	tr  *Tracer
+	rec SpanRecord
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+}
+
+// Annotate appends a "key=value" attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, key+"="+value)
+}
+
+// SetErr records err's text on the span (nil clears nothing, it no-ops).
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.rec.Err = err.Error()
+}
+
+// End finishes the span and commits it to the tracer's ring. End is
+// idempotent in effect only through discipline: call it exactly once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.EndNS = s.tr.clock().UnixNano()
+	s.tr.commit(s.rec)
+}
+
+// defaultSpanCapacity bounds the finished-span ring.
+const defaultSpanCapacity = 4096
+
+// Tracer mints and records spans for one site. Safe for concurrent use.
+type Tracer struct {
+	site   string
+	idBase uint64
+	clock  func() time.Time
+
+	mu      sync.Mutex
+	seq     uint64
+	ring    []SpanRecord
+	next    int
+	total   uint64 // spans ever committed
+	dropped uint64 // spans evicted from the ring
+}
+
+// newTracer builds a tracer whose span ids are salted with the site name:
+// id = fnv32(site)<<32 | seq. Two sites in one deployment mint from
+// disjoint spaces, and a rerun of a deterministic scenario mints the same
+// ids in the same order.
+func newTracer(site string, clock func() time.Time, capacity int) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	if capacity <= 0 {
+		capacity = defaultSpanCapacity
+	}
+	return &Tracer{
+		site:   site,
+		idBase: uint64(fnv32(site)) << 32,
+		clock:  clock,
+		ring:   make([]SpanRecord, 0, capacity),
+	}
+}
+
+// nextID mints the next span id.
+func (t *Tracer) nextID() uint64 {
+	t.mu.Lock()
+	t.seq++
+	id := t.idBase | (t.seq & 0xffffffff)
+	t.mu.Unlock()
+	return id
+}
+
+// start begins a span. An invalid parent starts a new trace rooted at
+// this span (its trace id is its span id).
+func (t *Tracer) start(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID()
+	rec := SpanRecord{
+		SpanID:  id,
+		Site:    t.site,
+		Name:    name,
+		StartNS: t.clock().UnixNano(),
+	}
+	if parent.Valid() {
+		rec.TraceID = parent.TraceID
+		rec.Parent = parent.SpanID
+	} else {
+		rec.TraceID = id
+	}
+	return &Span{tr: t, rec: rec}
+}
+
+// commit stores a finished span in the ring, evicting the oldest when
+// full.
+func (t *Tracer) commit(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.dropped++
+}
+
+// Snapshot returns up to max finished spans, oldest first (all of them
+// when max <= 0).
+func (t *Tracer) Snapshot(max int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	t.mu.Unlock()
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Dropped returns how many finished spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// fnv32 is FNV-1a, the same salt the heap uses for site ids.
+func fnv32(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// TraceNode is one span plus its causal children — the tree form of a
+// trace collected from every involved site.
+type TraceNode struct {
+	Span     SpanRecord
+	Children []*TraceNode
+}
+
+// BuildTrees links spans (possibly from several sites) into rooted trees
+// by (TraceID, Parent). Spans whose parent is missing (evicted, or held
+// by a site that was not collected) become roots of their own partial
+// trees. Output order is deterministic: trees sorted by (TraceID, root
+// SpanID), children by SpanID.
+//
+// The input may be adversarial: span ids are deterministic per site
+// NAME, so two live sites deployed under the same name (say, two TCP
+// sites listening on ":0") mint colliding ids, and stitching their dumps
+// together can produce duplicate ids and parent cycles. BuildTrees keeps
+// the first record for a duplicated id and breaks any link that would
+// close a cycle (the child becomes a partial root) — it never loops.
+func BuildTrees(spans []SpanRecord) []*TraceNode {
+	nodes := make(map[uint64]*TraceNode, len(spans))
+	order := make([]uint64, 0, len(spans))
+	for _, sp := range spans {
+		if _, dup := nodes[sp.SpanID]; dup {
+			continue
+		}
+		nodes[sp.SpanID] = &TraceNode{Span: sp}
+		order = append(order, sp.SpanID)
+	}
+	parent := make(map[uint64]uint64, len(nodes))
+	var roots []*TraceNode
+	for _, id := range order {
+		n := nodes[id]
+		sp := n.Span
+		p, ok := nodes[sp.Parent]
+		if !ok || sp.Parent == sp.SpanID || linkWouldCycle(parent, sp.Parent, sp.SpanID) {
+			roots = append(roots, n)
+			continue
+		}
+		p.Children = append(p.Children, n)
+		parent[sp.SpanID] = sp.Parent
+	}
+	var sortKids func(n *TraceNode)
+	sortKids = func(n *TraceNode) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.SpanID < n.Children[j].Span.SpanID
+		})
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	for _, r := range roots {
+		sortKids(r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := roots[i].Span, roots[j].Span
+		if a.TraceID != b.TraceID {
+			return a.TraceID < b.TraceID
+		}
+		return a.SpanID < b.SpanID
+	})
+	return roots
+}
+
+// linkWouldCycle reports whether setting child's parent to p would close
+// a loop — i.e. whether child is already an ancestor of p. The parent
+// map only ever holds acyclic links (every link is vetted here first),
+// so the ancestor walk terminates.
+func linkWouldCycle(parent map[uint64]uint64, p, child uint64) bool {
+	for {
+		if p == child {
+			return true
+		}
+		next, ok := parent[p]
+		if !ok {
+			return false
+		}
+		p = next
+	}
+}
+
+// Walk visits the tree depth-first, reporting each span with its depth.
+func (n *TraceNode) Walk(fn func(depth int, sp SpanRecord)) {
+	var rec func(d int, n *TraceNode)
+	rec = func(d int, n *TraceNode) {
+		fn(d, n.Span)
+		for _, c := range n.Children {
+			rec(d+1, c)
+		}
+	}
+	rec(0, n)
+}
+
+// FormatTree renders a tree as an indented listing.
+func FormatTree(root *TraceNode) string {
+	var out string
+	root.Walk(func(depth int, sp SpanRecord) {
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		out += sp.String() + "\n"
+	})
+	return out
+}

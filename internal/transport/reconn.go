@@ -25,11 +25,23 @@ type reconnConn struct {
 	local     Addr
 	remote    Addr
 	onConnect func(Conn) error
+	onRedial  func()
 
 	mu     sync.Mutex
 	conn   Conn
 	gen    uint64
 	closed bool
+}
+
+// ReconnOption configures a reconnecting connection.
+type ReconnOption func(*reconnConn)
+
+// WithRedialHook installs a callback invoked on every redial (not the
+// initial dial) — the telemetry layer counts reconnects with it. The hook
+// runs with the connection's lock held; it must not call back into the
+// connection.
+func WithRedialHook(fn func()) ReconnOption {
+	return func(c *reconnConn) { c.onRedial = fn }
 }
 
 // NewReconnecting dials local→remote on net and returns a Conn that
@@ -42,8 +54,11 @@ type reconnConn struct {
 // lost, not replayed — exactly the semantics of a TCP reconnect — so the
 // caller's protocol must tolerate resending (see the rmi retry policy and
 // its server-side duplicate suppression).
-func NewReconnecting(net Network, local, remote Addr, onConnect func(Conn) error) (Conn, error) {
+func NewReconnecting(net Network, local, remote Addr, onConnect func(Conn) error, opts ...ReconnOption) (Conn, error) {
 	c := &reconnConn{net: net, local: local, remote: remote, onConnect: onConnect}
+	for _, opt := range opts {
+		opt(c)
+	}
 	conn, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -94,6 +109,9 @@ func (c *reconnConn) redial(failedGen uint64) (Conn, uint64, error) {
 	_ = c.conn.Close()
 	c.conn = conn
 	c.gen++
+	if c.onRedial != nil {
+		c.onRedial()
+	}
 	return c.conn, c.gen, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 const (
@@ -145,9 +146,21 @@ type Store struct {
 
 	syncMu  sync.Mutex // group-commit: one fsync covers all queued writers
 	syncSeq uint64     // writes covered by the last fsync
+	syncObs func(time.Duration)
 
 	manMu  sync.Mutex
 	siteID uint64
+}
+
+// SetSyncObserver installs fn to be called with the duration of every
+// fsync the group commit issues (nil removes it). This keeps the wal
+// package free of telemetry dependencies while letting the site layer
+// feed its wal.fsync_ns histogram. fn runs with the sync mutex held —
+// keep it trivial.
+func (s *Store) SetSyncObserver(fn func(time.Duration)) {
+	s.syncMu.Lock()
+	s.syncObs = fn
+	s.syncMu.Unlock()
 }
 
 // Open opens (creating if needed) the durability directory at dir, bumps
@@ -381,8 +394,12 @@ func (s *Store) syncTo(seq uint64) error {
 	cur := s.seq
 	f := s.f
 	s.mu.Unlock()
+	start := time.Now()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if s.syncObs != nil {
+		s.syncObs(time.Since(start))
 	}
 	s.syncSeq = cur
 	return nil

@@ -30,7 +30,12 @@ const (
 // ProtocolVersion is the wire protocol revision. A connection opens with a
 // Hello frame carrying it; peers reject mismatches instead of
 // mis-parsing each other's frames.
-const ProtocolVersion = 1
+//
+// Revision history:
+//
+//	1 — initial frame layout
+//	2 — Call frames carry a causal trace context (TraceID, SpanID)
+const ProtocolVersion = 2
 
 // helloMagic guards against cross-protocol traffic reaching an RMI port.
 const helloMagic = "OBI1"
@@ -78,7 +83,14 @@ type Call struct {
 	Target uint64
 	Method string
 	Client string
-	Args   []any
+	// TraceID and SpanID carry the caller's causal trace context: the
+	// trace this invocation belongs to and the client-side span that
+	// caused it. Both zero means the call is untraced. The server roots
+	// its serve span under SpanID, which is how a fault on one site and
+	// the payload assembly it causes on another join one span tree.
+	TraceID uint64
+	SpanID  uint64
+	Args    []any
 }
 
 // Reply is a successful response frame.
@@ -102,6 +114,8 @@ func EncodeCall(reg *codec.Registry, c *Call) ([]byte, error) {
 	e.WriteUvarint(c.Target)
 	e.WriteString(c.Method)
 	e.WriteString(c.Client)
+	e.WriteUvarint(c.TraceID)
+	e.WriteUvarint(c.SpanID)
 	e.WriteUvarint(uint64(len(c.Args)))
 	for i, a := range c.Args {
 		if err := e.Value(reg, a); err != nil {
@@ -156,6 +170,12 @@ func Decode(reg *codec.Registry, frame []byte) (any, error) {
 		}
 		if c.Client, err = d.ReadString(); err != nil {
 			return nil, fmt.Errorf("wire: call client: %w", err)
+		}
+		if c.TraceID, err = d.ReadUvarint(); err != nil {
+			return nil, fmt.Errorf("wire: call trace id: %w", err)
+		}
+		if c.SpanID, err = d.ReadUvarint(); err != nil {
+			return nil, fmt.Errorf("wire: call span id: %w", err)
 		}
 		n, err := d.ReadUvarint()
 		if err != nil {

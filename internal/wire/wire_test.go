@@ -12,6 +12,7 @@ func TestCallRoundTrip(t *testing.T) {
 	reg := codec.NewRegistry()
 	in := &Call{
 		ID: 7, Target: 42, Method: "Get",
+		TraceID: 0xAB00000001, SpanID: 0xAB00000002,
 		Args: []any{int64(1), "two", []byte{3}, nil, true},
 	}
 	frame, err := EncodeCall(reg, in)
@@ -28,6 +29,9 @@ func TestCallRoundTrip(t *testing.T) {
 	}
 	if c.ID != 7 || c.Target != 42 || c.Method != "Get" || len(c.Args) != 5 {
 		t.Fatalf("call: %+v", c)
+	}
+	if c.TraceID != 0xAB00000001 || c.SpanID != 0xAB00000002 {
+		t.Fatalf("trace context lost: %+v", c)
 	}
 	if c.Args[0] != int64(1) || c.Args[1] != "two" || c.Args[3] != nil || c.Args[4] != true {
 		t.Fatalf("args: %+v", c.Args)
@@ -97,7 +101,7 @@ func TestQuickDecodeRobust(t *testing.T) {
 // string/int argument vectors.
 func TestQuickCallRoundTrip(t *testing.T) {
 	reg := codec.NewRegistry()
-	f := func(id, target uint64, method string, sArgs []string, iArgs []int64) bool {
+	f := func(id, target, traceID, spanID uint64, method string, sArgs []string, iArgs []int64) bool {
 		args := make([]any, 0, len(sArgs)+len(iArgs))
 		for _, s := range sArgs {
 			args = append(args, s)
@@ -105,7 +109,7 @@ func TestQuickCallRoundTrip(t *testing.T) {
 		for _, i := range iArgs {
 			args = append(args, i)
 		}
-		frame, err := EncodeCall(reg, &Call{ID: id, Target: target, Method: method, Args: args})
+		frame, err := EncodeCall(reg, &Call{ID: id, Target: target, Method: method, TraceID: traceID, SpanID: spanID, Args: args})
 		if err != nil {
 			return false
 		}
@@ -115,6 +119,9 @@ func TestQuickCallRoundTrip(t *testing.T) {
 		}
 		c, ok := out.(*Call)
 		if !ok || c.ID != id || c.Target != target || c.Method != method || len(c.Args) != len(args) {
+			return false
+		}
+		if c.TraceID != traceID || c.SpanID != spanID {
 			return false
 		}
 		for i := range args {

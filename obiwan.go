@@ -63,6 +63,7 @@ import (
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
 	"obiwan/internal/site"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 	"obiwan/internal/txn"
 )
@@ -183,6 +184,35 @@ var (
 	// in dir, and NewSite over the same dir recovers them under a fresh
 	// incarnation.
 	WithDurability = site.WithDurability
+	// WithTelemetry injects a custom telemetry hub (e.g. with an
+	// injected clock for deterministic traces). Sites default to an
+	// enabled hub named after themselves.
+	WithTelemetry = site.WithTelemetry
+	// WithoutTelemetry disables causal tracing and metrics for the site.
+	WithoutTelemetry = site.WithoutTelemetry
+)
+
+// Telemetry: causal traces across the demand protocol plus per-site
+// metrics, exported live over the admin service (DESIGN.md §7).
+type (
+	// TelemetryHub bundles one site's tracer and metrics registry.
+	TelemetryHub = telemetry.Hub
+	// SpanContext is the causal identity carried in RMI call frames.
+	SpanContext = telemetry.SpanContext
+	// MetricsSnapshot is a site's exported metrics state.
+	MetricsSnapshot = telemetry.MetricsSnapshot
+	// TraceDump is a site's exported recent spans.
+	TraceDump = telemetry.TraceDump
+)
+
+var (
+	// NewTelemetryHub builds a hub (install with WithTelemetry).
+	NewTelemetryHub = telemetry.NewHub
+	// BuildTraceTrees links span dumps from several sites into rooted
+	// causal trees.
+	BuildTraceTrees = telemetry.BuildTrees
+	// FormatTraceTree renders one tree as an indented listing.
+	FormatTraceTree = telemetry.FormatTree
 )
 
 // RetryPolicy bounds how outbound RMI calls are retried: attempt count,
