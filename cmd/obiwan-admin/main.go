@@ -1,25 +1,35 @@
 // Command obiwan-admin inspects a running OBIWAN site over TCP: heap
 // contents (masters, replicas, dirty state), RMI traffic counters, the
 // proxy-lifecycle ledger, and the live telemetry surface (metrics
-// registry and recent trace spans).
+// registry, recent trace spans, per-object replication profiles, the
+// flight recorder, and a streaming watch).
 //
 // Usage:
 //
-//	obiwan-admin -site host:port                # full report
-//	obiwan-admin -site host:port ping           # liveness probe only
-//	obiwan-admin -site host:port objects        # per-object table only
-//	obiwan-admin -site host:port metrics        # live metrics snapshot
-//	obiwan-admin -site host:port -max 50 trace  # recent span trees
+//	obiwan-admin -site host:port                    # full report
+//	obiwan-admin -site host:port ping               # liveness probe only
+//	obiwan-admin -site host:port objects            # per-object table only
+//	obiwan-admin -site host:port metrics            # live metrics snapshot
+//	obiwan-admin -site host:port -max 50 trace      # recent span trees
+//	obiwan-admin -site host:port -top 10 top        # hottest objects
+//	obiwan-admin -site host:port flight             # flight-recorder dump
+//	obiwan-admin -site host:port -interval 2s watch # live telemetry stream
+//
+// -timeout bounds each RMI the tool issues; watch additionally honors
+// -interval (poll period) and -count (chunks to print before exiting,
+// 0 = stream until interrupted).
 //
 // The legacy -ping and -objects flags remain as aliases for the
 // corresponding subcommands.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"obiwan/internal/admin"
 	"obiwan/internal/rmi"
@@ -29,11 +39,24 @@ import (
 	"obiwan/internal/transport"
 )
 
+// runOpts carries the flag values into run.
+type runOpts struct {
+	maxSpans uint64        // trace/watch: span fetch cap (0 = server default)
+	topK     uint64        // top: how many hot objects (0 = all tracked)
+	timeout  time.Duration // per-RMI deadline (0 = runtime default)
+	interval time.Duration // watch: poll period
+	count    int           // watch: chunks before exit (0 = forever)
+}
+
 func main() {
 	siteAddr := flag.String("site", "", "address of the site to inspect (host:port)")
 	ping := flag.Bool("ping", false, "liveness probe only (alias for the ping subcommand)")
 	objects := flag.Bool("objects", false, "print only the per-object table (alias for the objects subcommand)")
-	maxSpans := flag.Uint64("max", 0, "trace: fetch at most this many recent spans (0 = everything retained)")
+	maxSpans := flag.Uint64("max", 0, "trace/watch: fetch at most this many recent spans (0 = everything retained)")
+	topK := flag.Uint64("top", 0, "top: show at most this many hot objects (0 = all tracked)")
+	timeout := flag.Duration("timeout", 0, "per-call RMI deadline (0 = runtime default)")
+	interval := flag.Duration("interval", time.Second, "watch: poll period")
+	count := flag.Int("count", 0, "watch: exit after this many chunks (0 = stream forever)")
 	flag.Parse()
 
 	if *siteAddr == "" {
@@ -50,13 +73,20 @@ func main() {
 	if *objects {
 		cmd = "objects"
 	}
-	if err := run(os.Stdout, *siteAddr, cmd, *maxSpans); err != nil {
+	o := runOpts{
+		maxSpans: *maxSpans, topK: *topK,
+		timeout: *timeout, interval: *interval, count: *count,
+	}
+	if err := run(os.Stdout, *siteAddr, cmd, o); err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-admin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, siteAddr, cmd string, maxSpans uint64) error {
+// errWatchDone ends a -count bounded watch from inside the subscription.
+var errWatchDone = errors.New("watch done")
+
+func run(w io.Writer, siteAddr, cmd string, o runOpts) error {
 	network := transport.NewTCPNetwork()
 	rt, err := rmi.NewRuntime(network, "127.0.0.1:0")
 	if err != nil {
@@ -65,6 +95,9 @@ func run(w io.Writer, siteAddr, cmd string, maxSpans uint64) error {
 	defer rt.Close()
 
 	client := admin.NewClient(rt, site.AdminRef(transport.Addr(siteAddr)))
+	if o.timeout > 0 {
+		client = client.WithTimeout(o.timeout)
+	}
 	switch cmd {
 	case "ping":
 		name, err := client.Ping()
@@ -80,11 +113,26 @@ func run(w io.Writer, siteAddr, cmd string, maxSpans uint64) error {
 		}
 		return renderMetrics(w, snap)
 	case "trace":
-		dump, err := client.Traces(maxSpans)
+		dump, err := client.Traces(o.maxSpans)
 		if err != nil {
 			return err
 		}
 		return renderTraces(w, dump)
+	case "top":
+		snap, err := client.Profile(o.topK)
+		if err != nil {
+			return err
+		}
+		return renderProfile(w, snap)
+	case "flight":
+		dump, err := client.Flight()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, dump.Format())
+		return err
+	case "watch":
+		return watch(w, client, o)
 	case "report", "objects":
 		report, err := client.Report()
 		if err != nil {
@@ -92,8 +140,55 @@ func run(w io.Writer, siteAddr, cmd string, maxSpans uint64) error {
 		}
 		return render(w, report, cmd == "objects")
 	default:
-		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, or trace)", cmd)
+		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, trace, top, flight, or watch)", cmd)
 	}
+}
+
+// watch streams telemetry chunks, one block per poll. A transient RMI
+// failure prints and the stream resumes at the same cursor, so no span is
+// lost or duplicated across an outage.
+func watch(w io.Writer, client *admin.Client, o runOpts) error {
+	n := 0
+	err := client.Subscribe(o.interval, nil, func(chunk *admin.WatchChunk, err error) error {
+		n++
+		if err != nil {
+			fmt.Fprintf(w, "watch: %v (will retry)\n", err)
+		} else {
+			renderChunk(w, chunk)
+		}
+		if o.count > 0 && n >= o.count {
+			return errWatchDone
+		}
+		return nil
+	})
+	if errors.Is(err, errWatchDone) {
+		return nil
+	}
+	return err
+}
+
+// renderChunk prints one watch delivery: a summary line, then any spans
+// finished since the previous chunk.
+func renderChunk(w io.Writer, c *admin.WatchChunk) {
+	fmt.Fprintf(w, "[%s] %s spans=%d cursor=%d",
+		time.Unix(0, c.TakenAtNS).UTC().Format("15:04:05.000"), c.Site, len(c.Spans), c.NextCursor)
+	if c.Missed > 0 {
+		fmt.Fprintf(w, " missed=%d", c.Missed)
+	}
+	fmt.Fprintln(w)
+	for _, s := range c.Spans {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+}
+
+// renderProfile prints the hot-object table, or says why it is empty.
+func renderProfile(w io.Writer, snap *telemetry.ProfileSnapshot) error {
+	if len(snap.Objects) == 0 {
+		fmt.Fprintf(w, "site %q: no profiled objects (telemetry disabled or no replication yet)\n", snap.Site)
+		return nil
+	}
+	_, err := io.WriteString(w, snap.Format())
+	return err
 }
 
 func render(w io.Writer, r *admin.SiteReport, objectsOnly bool) error {

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"obiwan/internal/objmodel"
 	"obiwan/internal/site"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -35,7 +37,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := run(&buf, string(s.Addr()), "ping", 0); err != nil {
+	if err := run(&buf, string(s.Addr()), "ping", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "is alive") {
@@ -43,7 +45,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "report", 0); err != nil {
+	if err := run(&buf, string(s.Addr()), "report", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -59,16 +61,17 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "objects", 0); err != nil {
+	if err := run(&buf, string(s.Addr()), "objects", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "rmi:") {
 		t.Fatal("objects must omit the summary")
 	}
 
-	// metrics: the serve counter has ticked for the calls above.
+	// metrics: the serve counter has ticked for the calls above. The
+	// -timeout path must work too.
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "metrics", 0); err != nil {
+	if err := run(&buf, string(s.Addr()), "metrics", runOpts{timeout: 5 * time.Second}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rmi.calls.served") {
@@ -78,21 +81,97 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	// trace: the CLI's own calls carry no trace context, so the site has
 	// no finished spans — the command must still succeed and say so.
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "trace", 10); err != nil {
+	if err := run(&buf, string(s.Addr()), "trace", runOpts{maxSpans: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no finished spans") {
 		t.Fatalf("trace output: %q", buf.String())
 	}
 
-	if err := run(&buf, string(s.Addr()), "bogus", 0); err == nil {
+	if err := run(&buf, string(s.Addr()), "bogus", runOpts{}); err == nil {
 		t.Fatal("unknown command must error")
+	}
+}
+
+// TestAdminCLITopAndFlight exercises the profiler and flight-recorder
+// subcommands against a live site.
+func TestAdminCLITopAndFlight(t *testing.T) {
+	net := transport.NewTCPNetwork()
+	s, err := site.New("127.0.0.1:0", net, site.WithSiteID(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// top before any replication: explicit empty-state message.
+	var buf bytes.Buffer
+	if err := run(&buf, string(s.Addr()), "top", runOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no profiled objects") {
+		t.Fatalf("top on idle site: %q", buf.String())
+	}
+
+	// Seed the profiler and flight recorder as the replication engine
+	// would, then read both back through the CLI.
+	prof := s.Telemetry().Profiler()
+	prof.RecordFault(0xabc1, false, false, 3, 640, 2*time.Millisecond)
+	prof.RecordInvoke(0xabc1, false)
+	fl := s.Telemetry().Flight()
+	fl.Record(telemetry.FlightEvent{Kind: "repl.fault-resolved", OID: 0xabc1, SpanID: 77})
+	fl.Dump("test dump")
+
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), "top", runOpts{topK: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0xabc1") || !strings.Contains(out, "hot objects") {
+		t.Fatalf("top output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := run(&buf, string(s.Addr()), "flight", runOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "test dump") || !strings.Contains(out, "repl.fault-resolved") {
+		t.Fatalf("flight output:\n%s", out)
+	}
+}
+
+// TestAdminCLIWatch streams two chunks and checks the cursor advances
+// without re-delivering spans.
+func TestAdminCLIWatch(t *testing.T) {
+	net := transport.NewTCPNetwork()
+	s, err := site.New("127.0.0.1:0", net, site.WithSiteID(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Finish two spans so the first chunk carries them.
+	root := s.Telemetry().StartRoot("watchtest")
+	root.End()
+	child := s.Telemetry().StartRoot("watchtest2")
+	child.End()
+
+	var buf bytes.Buffer
+	if err := run(&buf, string(s.Addr()), "watch", runOpts{interval: 10 * time.Millisecond, count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "watchtest") {
+		t.Fatalf("watch missed the finished span:\n%s", out)
+	}
+	if strings.Count(out, "watchtest2") != 1 {
+		t.Fatalf("watch delivered a span other than exactly once:\n%s", out)
 	}
 }
 
 func TestAdminCLIUnreachable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "127.0.0.1:1", "ping", 0); err == nil {
+	if err := run(&buf, "127.0.0.1:1", "ping", runOpts{}); err == nil {
 		t.Fatal("unreachable site must error")
 	}
 }

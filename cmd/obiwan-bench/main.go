@@ -12,10 +12,12 @@
 //	obiwan-bench -exp ablation-mode       # incremental vs transitive closure
 //	obiwan-bench -exp ablation-depth      # count- vs depth-bounded clusters
 //	obiwan-bench -exp auto                # RMI/LMI/auto invocation policies
+//	obiwan-bench -exp profile             # hot-object replication profiler report
 //	obiwan-bench -exp all                 # everything
 //
 // Flags: -quick (scaled-down parameters), -csv (machine-readable output),
-// -profile lan10|wan|wireless|loopback, -list (list length).
+// -profile lan10|wan|wireless|loopback, -list (list length), -svg DIR
+// (render figures), -flight FILE (write the profile run's flight dump).
 package main
 
 import (
@@ -28,6 +30,8 @@ import (
 
 	"obiwan/internal/bench"
 	"obiwan/internal/netsim"
+	"obiwan/internal/plot"
+	"obiwan/internal/telemetry"
 )
 
 func main() {
@@ -39,15 +43,16 @@ func main() {
 	size := flag.Int("size", 64, "object size for fig5curve")
 	step := flag.Int("step", 10, "replication step for fig5curve")
 	svgDir := flag.String("svg", "", "also render each experiment as an SVG figure into this directory")
+	flightFile := flag.String("flight", "", "write the profile experiment's flight-recorder dump to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *quick, *csv, *profile, *listLen, *size, *step, *svgDir); err != nil {
+	if err := run(os.Stdout, *exp, *quick, *csv, *profile, *listLen, *size, *step, *svgDir, *flightFile); err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size, step int, svgDir string) error {
+func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size, step int, svgDir, flightFile string) error {
 	cfg := bench.DefaultConfig()
 	if quick {
 		cfg = bench.QuickConfig()
@@ -73,6 +78,8 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 		desc string
 		run  func() ([]bench.Point, error)
 	}
+	var hotSamples []plot.HotSample
+	var flightDump *telemetry.FlightDump
 	runners := []runner{
 		{"table1", "§4.1 per-invocation cost: LMI vs RMI (RMI size-independent)",
 			func() ([]bench.Point, error) { return bench.RunTable1(cfg) }},
@@ -100,6 +107,12 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 			func() ([]bench.Point, error) { return bench.RunAutoCrossover(cfg, 100) }},
 		{"prefetch", "footnote 3: background prefetch hiding fault latency (1ms think time/object)",
 			func() ([]bench.Point, error) { return bench.RunPrefetch(cfg, time.Millisecond) }},
+		{"profile", "per-object replication profiler: skewed refresh rounds, hot objects first",
+			func() ([]bench.Point, error) {
+				points, samples, dump, err := bench.RunHotProfile(cfg)
+				hotSamples, flightDump = samples, dump
+				return points, err
+			}},
 	}
 
 	selected := runners[:0:0]
@@ -136,6 +149,23 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 			}
 			if path != "" {
 				fmt.Fprintf(w, "(figure: %s)\n", path)
+			}
+		}
+		if r.name == "profile" {
+			if svgDir != "" && len(hotSamples) > 0 {
+				paths, err := renderHotCharts(svgDir, hotSamples)
+				if err != nil {
+					return fmt.Errorf("profile: render svg: %w", err)
+				}
+				for _, p := range paths {
+					fmt.Fprintf(w, "(figure: %s)\n", p)
+				}
+			}
+			if flightFile != "" && flightDump != nil {
+				if err := writeFlight(flightFile, flightDump); err != nil {
+					return fmt.Errorf("profile: flight dump: %w", err)
+				}
+				fmt.Fprintf(w, "(flight dump: %s)\n", flightFile)
 			}
 		}
 		fmt.Fprintf(w, "(%d points in %v)\n", len(points), time.Since(start).Round(time.Millisecond))

@@ -13,7 +13,7 @@ import (
 func fastRun(t *testing.T, exp string, csv bool) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(&buf, exp, true /*quick*/, csv, "loopback", 20, 64, 5, ""); err != nil {
+	if err := run(&buf, exp, true /*quick*/, csv, "loopback", 20, 64, 5, "", ""); err != nil {
 		t.Fatalf("%s: %v", exp, err)
 	}
 	return buf.String()
@@ -21,7 +21,7 @@ func fastRun(t *testing.T, exp string, csv bool) string {
 
 func TestRunSelectors(t *testing.T) {
 	for _, exp := range []string{
-		"table1", "fig5curve", "fig5v6", "ablation-mode", "ablation-depth", "auto", "prefetch",
+		"table1", "fig5curve", "fig5v6", "ablation-mode", "ablation-depth", "auto", "prefetch", "profile",
 	} {
 		t.Run(exp, func(t *testing.T) {
 			out := fastRun(t, exp, false)
@@ -51,10 +51,10 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunRejectsUnknowns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", true, false, "loopback", 0, 64, 5, ""); err == nil {
+	if err := run(&buf, "fig99", true, false, "loopback", 0, 64, 5, "", ""); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
-	if err := run(&buf, "table1", true, false, "carrier-pigeon", 0, 64, 5, ""); err == nil {
+	if err := run(&buf, "table1", true, false, "carrier-pigeon", 0, 64, 5, "", ""); err == nil {
 		t.Fatal("unknown profile must fail")
 	}
 }
@@ -62,7 +62,7 @@ func TestRunRejectsUnknowns(t *testing.T) {
 func TestRunRendersSVG(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5v6", true, false, "loopback", 12, 64, 5, dir); err != nil {
+	if err := run(&buf, "fig5v6", true, false, "loopback", 12, 64, 5, dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5v6.svg"))
@@ -74,5 +74,36 @@ func TestRunRendersSVG(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "figure:") {
 		t.Fatal("figure path not reported")
+	}
+}
+
+// TestRunProfileArtifacts: the profile experiment emits the two
+// hot-object figures plus the flight-recorder dump as artifacts.
+func TestRunProfileArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	flight := filepath.Join(dir, "flight.txt")
+	var buf bytes.Buffer
+	if err := run(&buf, "profile", true, false, "loopback", 0, 64, 5, dir, flight); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hot-objects-demands.svg", "hot-objects-bytes.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "</svg>") {
+			t.Fatalf("%s incomplete", name)
+		}
+	}
+	dump, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "repl.fault-resolved") {
+		t.Fatalf("flight dump lacks protocol events:\n%s", dump)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "obj-0") || !strings.Contains(out, "flight dump:") {
+		t.Fatalf("profile output:\n%s", out)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"obiwan/internal/bench"
 	"obiwan/internal/plot"
+	"obiwan/internal/telemetry"
 )
 
 // plottable lists the experiments with a meaningful x-axis; the others
@@ -77,6 +78,49 @@ func chartFor(name string, points []bench.Point) plot.Chart {
 		c.Series = append(c.Series, *series[label])
 	}
 	return c
+}
+
+// renderHotCharts writes the profile experiment's two hot-object figures
+// (cumulative demands and demand bytes per object over the refresh
+// rounds) and returns their paths.
+func renderHotCharts(dir string, samples []plot.HotSample) ([]string, error) {
+	demands, bytes, err := plot.HotObjectCharts("Hot objects", samples)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, fig := range []struct {
+		name  string
+		chart plot.Chart
+	}{
+		{"hot-objects-demands", demands},
+		{"hot-objects-bytes", bytes},
+	} {
+		svg, err := plot.SVG(fig.chart)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fig.name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// writeFlight stores the profile run's flight-recorder dump as a plain
+// text artifact.
+func writeFlight(path string, dump *telemetry.FlightDump) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(dump.Format()), 0o644)
 }
 
 func titleFor(name string) string {

@@ -7,6 +7,7 @@ package admin
 
 import (
 	"sort"
+	"time"
 
 	"obiwan/internal/codec"
 	"obiwan/internal/heap"
@@ -148,8 +149,9 @@ func (s *Service) Traces(max uint64) *telemetry.TraceDump {
 
 // Client queries a remote site's admin service.
 type Client struct {
-	rt  *rmi.Runtime
-	ref rmi.RemoteRef
+	rt      *rmi.Runtime
+	ref     rmi.RemoteRef
+	timeout time.Duration // 0: the runtime's default call timeout
 }
 
 // NewClient wraps an admin reference for use from rt's site.
@@ -157,9 +159,29 @@ func NewClient(rt *rmi.Runtime, ref rmi.RemoteRef) *Client {
 	return &Client{rt: rt, ref: ref}
 }
 
+// WithTimeout returns a copy of the client whose calls use d as the
+// per-call deadline instead of the runtime default (d <= 0 restores the
+// default).
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cc := *c
+	if d < 0 {
+		d = 0
+	}
+	cc.timeout = d
+	return &cc
+}
+
+// call issues one admin RMI, honoring the client's timeout override.
+func (c *Client) call(method string, args ...any) ([]any, error) {
+	if c.timeout > 0 {
+		return c.rt.CallTimeout(c.ref, c.timeout, method, args...)
+	}
+	return c.rt.Call(c.ref, method, args...)
+}
+
 // Report fetches the remote snapshot.
 func (c *Client) Report() (*SiteReport, error) {
-	res, err := c.rt.Call(c.ref, "Report")
+	res, err := c.call("Report")
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +194,7 @@ func (c *Client) Report() (*SiteReport, error) {
 
 // Metrics fetches the remote metrics snapshot.
 func (c *Client) Metrics() (*telemetry.MetricsSnapshot, error) {
-	res, err := c.rt.Call(c.ref, "Metrics")
+	res, err := c.call("Metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +207,7 @@ func (c *Client) Metrics() (*telemetry.MetricsSnapshot, error) {
 
 // Traces fetches up to max recent spans from the remote site (0: all).
 func (c *Client) Traces(max uint64) (*telemetry.TraceDump, error) {
-	res, err := c.rt.Call(c.ref, "Traces", max)
+	res, err := c.call("Traces", max)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +220,7 @@ func (c *Client) Traces(max uint64) (*telemetry.TraceDump, error) {
 
 // Ping probes the remote site.
 func (c *Client) Ping() (string, error) {
-	res, err := c.rt.Call(c.ref, "Ping")
+	res, err := c.call("Ping")
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,134 @@
+package admin
+
+import (
+	"time"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/telemetry"
+)
+
+// WatchChunk is one streaming delivery from a site's admin service: the
+// current metrics snapshot plus every span finished since the caller's
+// cursor. Counters are monotonic and the cursor is a count of spans ever
+// committed, so a watcher that reconnects (or whose link drops chunks)
+// resumes without duplicates — it just feeds NextCursor back in.
+type WatchChunk struct {
+	Site      string
+	TakenAtNS int64
+	// NextCursor is the value to pass as cursor on the next Watch call.
+	NextCursor uint64
+	// Missed counts spans that were evicted from the ring before this
+	// watcher could read them (a slow watcher on a busy site).
+	Missed  uint64
+	Metrics *telemetry.MetricsSnapshot
+	Spans   []telemetry.SpanRecord
+}
+
+func init() {
+	codec.MustRegister("obiwan.admin.WatchChunk", WatchChunk{})
+}
+
+// Watch returns the spans committed at or after cursor (capped at
+// maxSpans per chunk; 0 means the server default of 256) together with a
+// fresh metrics snapshot. The first call should pass cursor 0 — or the
+// current span total, to watch only new activity. With telemetry off the
+// chunk carries an empty snapshot and no spans, and the cursor never
+// advances.
+func (s *Service) Watch(cursor uint64, maxSpans uint64) *WatchChunk {
+	if maxSpans == 0 {
+		maxSpans = 256
+	}
+	spans, next, missed := s.tel.SpansSince(cursor, int(maxSpans))
+	return &WatchChunk{
+		Site:       s.name,
+		TakenAtNS:  s.tel.Now().UnixNano(),
+		NextCursor: next,
+		Missed:     missed,
+		Metrics:    s.tel.MetricsSnapshot(),
+		Spans:      spans,
+	}
+}
+
+// Profile exports the site's per-object replication profiles, hottest
+// first (topK 0: all tracked objects). Empty when telemetry is off.
+func (s *Service) Profile(topK uint64) *telemetry.ProfileSnapshot {
+	return s.tel.ProfileSnapshot(int(topK))
+}
+
+// Flight returns the site's most recent stored flight-recorder dump —
+// taken automatically on ErrUnavailable exhaustion or crash recovery —
+// or, when nothing has been dumped, a live snapshot of the ring.
+func (s *Service) Flight() *telemetry.FlightDump {
+	f := s.tel.Flight()
+	if d, ok := f.LastDump(); ok {
+		return d
+	}
+	return f.Current("live")
+}
+
+// Watch fetches one streaming chunk from the remote site.
+func (c *Client) Watch(cursor uint64, maxSpans uint64) (*WatchChunk, error) {
+	res, err := c.call("Watch", cursor, maxSpans)
+	if err != nil {
+		return nil, err
+	}
+	chunk, ok := res[0].(*WatchChunk)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return chunk, nil
+}
+
+// Profile fetches the remote per-object replication profiles.
+func (c *Client) Profile(topK uint64) (*telemetry.ProfileSnapshot, error) {
+	res, err := c.call("Profile", topK)
+	if err != nil {
+		return nil, err
+	}
+	snap, ok := res[0].(*telemetry.ProfileSnapshot)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return snap, nil
+}
+
+// Flight fetches the remote flight-recorder dump.
+func (c *Client) Flight() (*telemetry.FlightDump, error) {
+	res, err := c.call("Flight")
+	if err != nil {
+		return nil, err
+	}
+	dump, ok := res[0].(*telemetry.FlightDump)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return dump, nil
+}
+
+// Subscribe polls Watch every interval, invoking fn with each chunk (or
+// transport error — delivery resumes when the link heals, without
+// duplicating spans, because the cursor only advances on success). It
+// returns when stop closes or fn returns a non-nil error, which is also
+// Subscribe's return value. The first chunk is fetched immediately.
+func (c *Client) Subscribe(interval time.Duration, stop <-chan struct{}, fn func(*WatchChunk, error) error) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var cursor uint64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		chunk, err := c.Watch(cursor, 0)
+		if err == nil {
+			cursor = chunk.NextCursor
+		}
+		if ferr := fn(chunk, err); ferr != nil {
+			return ferr
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package admin_test
+
+import (
+	"testing"
+	"time"
+
+	"obiwan/internal/admin"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/site"
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// watchPair stands up two sites and returns a client on probe's runtime
+// pointed at target's admin service.
+func watchPair(t *testing.T, target, probe string) (*site.Site, *site.Site, *admin.Client) {
+	t.Helper()
+	net := transport.NewMemNetwork(netsim.Loopback)
+	ts, err := site.New(target, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	ps, err := site.New(probe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ts, ps, admin.NewClient(ps.Runtime(), site.AdminRef(transport.Addr(target)))
+}
+
+// TestWatchDeliversSpansExactlyOnce drives the cursor protocol: spans
+// finished between polls arrive in the next chunk and never again.
+func TestWatchDeliversSpansExactlyOnce(t *testing.T) {
+	ts, _, client := watchPair(t, "watched", "watcher")
+
+	ts.Telemetry().StartRoot("op-one").End()
+	chunk, err := client.Watch(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Spans) != 1 || chunk.Spans[0].Name != "op-one" {
+		t.Fatalf("first chunk: %+v", chunk.Spans)
+	}
+	if chunk.Site != "watched" || chunk.NextCursor != 1 || chunk.Missed != 0 {
+		t.Fatalf("first chunk header: %+v", chunk)
+	}
+	if len(chunk.Metrics.Counters) == 0 {
+		t.Fatal("watch chunk must carry the metrics snapshot")
+	}
+
+	// Nothing new: the same cursor yields an empty delta.
+	chunk2, err := client.Watch(chunk.NextCursor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk2.Spans) != 0 || chunk2.NextCursor != 1 {
+		t.Fatalf("idle chunk: %+v", chunk2)
+	}
+
+	ts.Telemetry().StartRoot("op-two").End()
+	chunk3, err := client.Watch(chunk2.NextCursor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk3.Spans) != 1 || chunk3.Spans[0].Name != "op-two" {
+		t.Fatalf("delta chunk: %+v", chunk3.Spans)
+	}
+}
+
+// TestWatchReportsMissedSpans: a cursor that fell behind the span ring
+// reports eviction instead of silently skipping.
+func TestWatchReportsMissedSpans(t *testing.T) {
+	net := transport.NewMemNetwork(netsim.Loopback)
+	hub := telemetry.NewHub("tiny", telemetry.WithSpanCapacity(4))
+	ts, err := site.New("tiny", net, site.WithTelemetry(hub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ps, err := site.New("prober", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	for i := 0; i < 10; i++ {
+		ts.Telemetry().StartRoot("burst").End()
+	}
+	chunk, err := admin.NewClient(ps.Runtime(), site.AdminRef("tiny")).Watch(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk.Missed != 6 || len(chunk.Spans) != 4 || chunk.NextCursor != 10 {
+		t.Fatalf("missed=%d spans=%d next=%d", chunk.Missed, len(chunk.Spans), chunk.NextCursor)
+	}
+}
+
+// TestProfileEndpointAfterDemand checks a real demand chain shows up in
+// the remote profile table.
+func TestProfileEndpointAfterDemand(t *testing.T) {
+	ts, ps, client := watchPair(t, "master", "mobile")
+
+	w := &widget{Name: "hot"}
+	d, err := ts.Export(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ps.Engine().RefFromDescriptor(d, replication.DefaultSpec)
+	if _, err := objmodel.Deref[*widget](ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// The master served one demand; ask it for its profile.
+	snap, err := client.Profile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Objects) == 0 {
+		t.Fatal("master profile is empty after serving a demand")
+	}
+	if p, ok := snap.Get(uint64(d.OID)); !ok || p.Serves == 0 {
+		t.Fatalf("master profile for %v: %+v", d.OID, p)
+	}
+
+	// And the mobile recorded the fault side.
+	mobileSnap, err := admin.NewClient(ts.Runtime(), site.AdminRef("mobile")).Profile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := mobileSnap.Get(uint64(d.OID))
+	if !ok || p.Faults != 1 || p.RemoteDemands != 1 || p.DemandBytes == 0 {
+		t.Fatalf("mobile profile for %v: %+v", d.OID, p)
+	}
+}
+
+// TestFlightEndpoint: a site that never dumped serves a live snapshot; a
+// stored dump takes precedence.
+func TestFlightEndpoint(t *testing.T) {
+	ts, _, client := watchPair(t, "flighty", "prober")
+
+	ts.Telemetry().Flight().Record(telemetry.FlightEvent{Kind: "test.event", OID: 42})
+	dump, err := client.Flight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != "live" || dump.Seq != 0 || len(dump.Events) == 0 {
+		t.Fatalf("live dump: %+v", dump)
+	}
+
+	ts.Telemetry().Flight().Dump("deliberate")
+	dump, err = client.Flight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != "deliberate" || dump.Seq != 1 {
+		t.Fatalf("stored dump: %+v", dump)
+	}
+}
+
+// TestWatchClientTimeout: the per-client deadline is honored (an
+// unreachable peer fails fast instead of hanging for the default).
+func TestWatchClientTimeout(t *testing.T) {
+	net := transport.NewMemNetwork(netsim.Loopback)
+	ps, err := site.New("prober", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	c := admin.NewClient(ps.Runtime(), site.AdminRef("nowhere")).WithTimeout(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Watch(0, 0); err == nil {
+		t.Fatal("watch on a missing site must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout not honored: %v", elapsed)
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"obiwan/internal/netsim"
+)
+
+// TestRunHotProfileHeatGradient: the skewed workload makes object 0 the
+// hottest; the profiler-derived points and samples must reflect the
+// gradient, and the flight dump must carry the run's protocol trail.
+func TestRunHotProfileHeatGradient(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Profile = netsim.Loopback
+	points, samples, dump, err := RunHotProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != hotProfileObjects {
+		t.Fatalf("points: %d, want %d", len(points), hotProfileObjects)
+	}
+	// Hottest first: object i refreshes every i+1 rounds, so demand
+	// counts are non-increasing across the set, and strictly higher for
+	// object 0 than the coldest.
+	for i := 1; i < len(points); i++ {
+		if points[i].RMICalls > points[i-1].RMICalls {
+			t.Fatalf("heat not monotone: obj-%d=%d > obj-%d=%d",
+				i, points[i].RMICalls, i-1, points[i-1].RMICalls)
+		}
+	}
+	if points[0].RMICalls <= points[len(points)-1].RMICalls {
+		t.Fatalf("no gradient: hottest=%d coldest=%d",
+			points[0].RMICalls, points[len(points)-1].RMICalls)
+	}
+	if points[0].BytesSent == 0 {
+		t.Fatal("no demand bytes accounted")
+	}
+	// One sample per object per round, plus the round-0 baseline.
+	if want := hotProfileObjects * (hotProfileRounds + 1); len(samples) != want {
+		t.Fatalf("samples: %d, want %d", len(samples), want)
+	}
+	if dump == nil || len(dump.Events) == 0 {
+		t.Fatal("empty flight dump")
+	}
+}

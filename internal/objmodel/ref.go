@@ -64,6 +64,12 @@ type AutoDecider interface {
 	PreferLocal(n uint64) bool
 }
 
+// InvokeObserver receives one notification per invocation through a Ref:
+// the target's identity and whether the call went remote (RMI) or ran on
+// a local copy (LMI). The replication engine installs one to feed the
+// per-object profiler; objmodel stays telemetry-agnostic.
+type InvokeObserver func(oid OID, remote bool)
+
 // ErrUnboundRef is returned when an unresolved Ref has no faulter to
 // demand its target from.
 var ErrUnboundRef = errors.New("objmodel: unbound reference")
@@ -76,12 +82,13 @@ var ErrUnboundRef = errors.New("objmodel: unbound reference")
 //
 // A Ref is safe for concurrent use. The zero Ref is unbound.
 type Ref struct {
-	mu      sync.Mutex
-	oid     OID
-	local   any
-	faulter Faulter
-	remote  RemoteInvoker
-	mode    InvocationMode
+	mu       sync.Mutex
+	oid      OID
+	local    any
+	faulter  Faulter
+	remote   RemoteInvoker
+	mode     InvocationMode
+	observer InvokeObserver
 
 	// faultMu serializes fault resolution so concurrent first calls issue
 	// one demand.
@@ -169,6 +176,15 @@ func (r *Ref) SetRemote(remote RemoteInvoker) {
 	r.remote = remote
 }
 
+// SetInvokeObserver installs (or clears, with nil) the per-invocation
+// observer. The unobserved fast path costs one nil check inside the
+// mutex hold Invoke already takes.
+func (r *Ref) SetInvokeObserver(fn InvokeObserver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = fn
+}
+
 // Remote returns the ref's remote invoker, if any.
 func (r *Ref) Remote() RemoteInvoker {
 	r.mu.Lock()
@@ -239,6 +255,8 @@ func (r *Ref) Invoke(method string, args ...any) ([]any, error) {
 	remote := r.remote
 	local := r.local
 	faulter := r.faulter
+	observer := r.observer
+	oid := r.oid
 	r.mu.Unlock()
 
 	useRemote := false
@@ -251,6 +269,9 @@ func (r *Ref) Invoke(method string, args ...any) ([]any, error) {
 				useRemote = !ad.PreferLocal(n)
 			}
 		}
+	}
+	if observer != nil {
+		observer(oid, useRemote)
 	}
 	if useRemote {
 		results, err := remote.RemoteInvoke(method, args)

@@ -1,0 +1,64 @@
+package plot
+
+import "fmt"
+
+// HotSample is one periodic reading of a per-object replication profile:
+// the cumulative remote demands and demand bytes an object has cost as
+// of time AtMS. The bench harness samples the profiler between workload
+// rounds; each OID becomes one curve in the hot-object report.
+type HotSample struct {
+	// AtMS is the sample's x-coordinate (bench round or elapsed ms).
+	AtMS float64
+	// OID identifies the object; Label names its series (defaults to the
+	// hex OID when empty).
+	OID   uint64
+	Label string
+	// Demands and Bytes are cumulative remote-demand counts and payload
+	// bytes as of this sample.
+	Demands uint64
+	Bytes   uint64
+}
+
+// HotObjectCharts shapes profiler samples into the two hot-object
+// figures: demand counts over time and demand bytes over time, one curve
+// per object. Series appear in first-seen order, so passing samples
+// hottest-object-first keeps the legend sorted by heat.
+func HotObjectCharts(title string, samples []HotSample) (demands, bytes Chart, err error) {
+	if len(samples) == 0 {
+		return Chart{}, Chart{}, fmt.Errorf("plot: no hot-object samples")
+	}
+	var order []uint64
+	demandSeries := map[uint64]*Series{}
+	byteSeries := map[uint64]*Series{}
+	for _, s := range samples {
+		ds, ok := demandSeries[s.OID]
+		if !ok {
+			label := s.Label
+			if label == "" {
+				label = fmt.Sprintf("oid %#x", s.OID)
+			}
+			ds = &Series{Label: label}
+			demandSeries[s.OID] = ds
+			byteSeries[s.OID] = &Series{Label: label}
+			order = append(order, s.OID)
+		}
+		ds.Points = append(ds.Points, Point{X: s.AtMS, Y: float64(s.Demands)})
+		bs := byteSeries[s.OID]
+		bs.Points = append(bs.Points, Point{X: s.AtMS, Y: float64(s.Bytes)})
+	}
+	demands = Chart{
+		Title:  title + ": remote demands per object",
+		XLabel: "round",
+		YLabel: "cumulative remote demands",
+	}
+	bytes = Chart{
+		Title:  title + ": demand bytes per object",
+		XLabel: "round",
+		YLabel: "cumulative demand bytes",
+	}
+	for _, oid := range order {
+		demands.Series = append(demands.Series, *demandSeries[oid])
+		bytes.Series = append(bytes.Series, *byteSeries[oid])
+	}
+	return demands, bytes, nil
+}

@@ -1,0 +1,47 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotObjectCharts(t *testing.T) {
+	samples := []HotSample{
+		{AtMS: 0, OID: 0xa, Label: "hot", Demands: 1, Bytes: 100},
+		{AtMS: 0, OID: 0xb, Demands: 1, Bytes: 100},
+		{AtMS: 1, OID: 0xa, Label: "hot", Demands: 3, Bytes: 300},
+		{AtMS: 1, OID: 0xb, Demands: 1, Bytes: 100},
+	}
+	demands, bytes, err := HotObjectCharts("Bench", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demands.Series) != 2 || len(bytes.Series) != 2 {
+		t.Fatalf("series: %d demands, %d bytes", len(demands.Series), len(bytes.Series))
+	}
+	// First-seen order preserved; missing labels default to the hex OID.
+	if demands.Series[0].Label != "hot" || demands.Series[1].Label != "oid 0xb" {
+		t.Fatalf("labels: %q %q", demands.Series[0].Label, demands.Series[1].Label)
+	}
+	if got := demands.Series[0].Points[1].Y; got != 3 {
+		t.Fatalf("hot demand curve y=%v, want 3", got)
+	}
+	if got := bytes.Series[0].Points[1].Y; got != 300 {
+		t.Fatalf("hot byte curve y=%v, want 300", got)
+	}
+	for _, c := range []Chart{demands, bytes} {
+		svg, err := SVG(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(svg, "</svg>") || !strings.Contains(svg, "hot") {
+			t.Fatalf("svg incomplete:\n%s", svg)
+		}
+	}
+}
+
+func TestHotObjectChartsRejectsEmpty(t *testing.T) {
+	if _, _, err := HotObjectCharts("x", nil); err == nil {
+		t.Fatal("empty samples must error")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"obiwan/internal/objmodel"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -112,14 +113,16 @@ func (m *Monitor) Failures(addr transport.Addr) uint64 {
 // Advisor turns Monitor estimates into ModeAuto decisions for one peer
 // site. Its Crossover method matches replication.Crossover.
 type Advisor struct {
-	monitor *Monitor
-	peer    transport.Addr
+	monitor  *Monitor
+	peer     transport.Addr
+	profiler *telemetry.Profiler // nil without telemetry: factor fallback
 
 	// FetchFactor is the estimated cost of one replication demand in units
 	// of call RTTs (one RTT for the demand itself plus transfer time).
 	// After calls · 1 ≥ FetchFactor the advisor prefers replication.
 	// Default 2: replicate on the second call for small objects, the
-	// ski-rental break-even of figure 4's small-object crossover.
+	// ski-rental break-even of figure 4's small-object crossover. Used
+	// when no measured fetch cost is available for the object.
 	FetchFactor float64
 
 	// MaxRemoteRTT forces the local decision when the link is slower than
@@ -133,16 +136,34 @@ func NewAdvisor(m *Monitor, peer transport.Addr) *Advisor {
 	return &Advisor{monitor: m, peer: peer, FetchFactor: 2}
 }
 
+// NewProfiledAdvisor builds an advisor that closes the loop with the
+// site's replication profiler: instead of assuming a fetch costs
+// FetchFactor RTTs, it uses the measured average demand latency for the
+// object (or the site-wide average while the object is cold) as the
+// ski-rental break-even. p may be nil, degrading to NewAdvisor behavior.
+func NewProfiledAdvisor(m *Monitor, peer transport.Addr, p *telemetry.Profiler) *Advisor {
+	a := NewAdvisor(m, peer)
+	a.profiler = p
+	return a
+}
+
 // Crossover implements the ModeAuto decision: true means "replicate now".
-func (a *Advisor) Crossover(_ objmodel.OID, calls uint64) bool {
+func (a *Advisor) Crossover(oid objmodel.OID, calls uint64) bool {
 	// A dead link leaves replication as the only viable plan (and the
 	// fault path is what will retry the fetch when connectivity returns).
 	if !a.monitor.Healthy(a.peer) {
 		return true
 	}
-	if a.MaxRemoteRTT > 0 {
-		if rtt, ok := a.monitor.RTT(a.peer); ok && rtt > a.MaxRemoteRTT {
-			return true
+	rtt, haveRTT := a.monitor.RTT(a.peer)
+	if a.MaxRemoteRTT > 0 && haveRTT && rtt > a.MaxRemoteRTT {
+		return true
+	}
+	// Measured path: replicate once the RTT already spent on this ref
+	// matches the observed fetch cost — the 2-competitive ski-rental rule
+	// with both sides of figure 4's cost model measured, not assumed.
+	if haveRTT && rtt > 0 {
+		if fetch, ok := a.profiler.FaultCost(uint64(oid)); ok && fetch > 0 {
+			return time.Duration(calls)*rtt >= fetch
 		}
 	}
 	return float64(calls) >= a.FetchFactor

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -77,6 +78,56 @@ func TestAdvisorSkiRental(t *testing.T) {
 	}
 	if !a.Crossover(1, 5) {
 		t.Fatal("at custom factor")
+	}
+}
+
+// TestProfiledAdvisorCrossoverFlips: with a measured fetch cost the
+// advisor abandons the static factor and flips RMI→LMI exactly when the
+// RTT spent so far reaches the observed demand latency.
+func TestProfiledAdvisorCrossoverFlips(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 2*time.Millisecond, nil) // EWMA = 2ms exactly
+	p := telemetry.NewProfiler(0)
+	p.RecordFault(1, false, false, 4, 4096, 10*time.Millisecond)
+	a := NewProfiledAdvisor(m, peer, p)
+
+	// The static factor (2) would already replicate at call 2 — the
+	// measured 10ms fetch holds the remote plan until 5 calls × 2ms RTT.
+	if a.Crossover(1, 2) {
+		t.Fatal("measured fetch cost should override the static factor")
+	}
+	if a.Crossover(1, 4) {
+		t.Fatal("4 calls × 2ms < 10ms fetch: stay remote")
+	}
+	if !a.Crossover(1, 5) {
+		t.Fatal("5 calls × 2ms ≥ 10ms fetch: replicate")
+	}
+
+	// An object never profiled borrows the site-wide demand average —
+	// here the same 10ms, so the flip point matches.
+	if a.Crossover(99, 4) || !a.Crossover(99, 5) {
+		t.Fatal("site-wide fallback cost not applied")
+	}
+
+	// A dead link still forces the local plan regardless of the profile.
+	m.Observe(peer, "M", 0, errors.New("down"))
+	if !a.Crossover(1, 1) {
+		t.Fatal("dead link must force the local plan")
+	}
+}
+
+// TestProfiledAdvisorFallsBackWithoutData: nil profiler or an empty one
+// degrades to the static ski-rental factor.
+func TestProfiledAdvisorFallsBackWithoutData(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(peer, "M", 2*time.Millisecond, nil)
+	a := NewProfiledAdvisor(m, peer, nil)
+	if a.Crossover(1, 1) || !a.Crossover(1, 2) {
+		t.Fatal("nil profiler must behave like NewAdvisor")
+	}
+	b := NewProfiledAdvisor(m, peer, telemetry.NewProfiler(0))
+	if b.Crossover(1, 1) || !b.Crossover(1, 2) {
+		t.Fatal("empty profiler must behave like NewAdvisor")
 	}
 }
 

@@ -99,6 +99,9 @@ type Engine struct {
 	observer  EventObserver
 	gc        platgc.Accountant
 	tel       *telemetry.Hub
+	prof      *telemetry.Profiler       // nil no-op when tel is nil
+	flight    *telemetry.FlightRecorder // nil no-op when tel is nil
+	invokeObs objmodel.InvokeObserver   // nil when profiling is off
 
 	// Protocol instruments, resolved once; all nil no-ops when tel is nil.
 	met struct {
@@ -112,6 +115,7 @@ type Engine struct {
 		payloadObjs  *telemetry.Histogram
 		putsShipped  *telemetry.Counter
 		putsApplied  *telemetry.Counter
+		refreshes    *telemetry.Counter
 	}
 
 	mu          sync.Mutex
@@ -150,8 +154,52 @@ func NewEngine(rt *rmi.Runtime, h *heap.Heap, opts ...Option) *Engine {
 		e.met.payloadObjs = m.Histogram("repl.payload.objects")
 		e.met.putsShipped = m.Counter("repl.puts.shipped")
 		e.met.putsApplied = m.Counter("repl.puts.applied")
+		e.met.refreshes = m.Counter("repl.refreshes")
+	}
+	e.prof = e.tel.Profiler()
+	e.flight = e.tel.Flight()
+	if e.prof != nil {
+		prof := e.prof
+		e.invokeObs = func(oid objmodel.OID, remote bool) {
+			prof.RecordInvoke(uint64(oid), remote)
+		}
 	}
 	return e
+}
+
+// observeRef installs the profiler's LMI/RMI invoke observer on a ref the
+// engine created or bound. No-op when profiling is off.
+func (e *Engine) observeRef(r *objmodel.Ref) {
+	if e.invokeObs != nil {
+		r.SetInvokeObserver(e.invokeObs)
+	}
+}
+
+// failUnavailable classifies an RMI failure on op for oid: transient and
+// timed-out errors wrap into ErrUnavailable, and — because exhausting the
+// retry policy is exactly the moment an operator wants context — the
+// flight recorder logs the failing call (with its causal span id) and
+// dumps the ring automatically.
+func (e *Engine) failUnavailable(op string, oid objmodel.OID, sc telemetry.SpanContext, err error) error {
+	werr := wrapUnavailable(err)
+	if e.flight != nil && errors.Is(werr, ErrUnavailable) {
+		e.flight.Record(telemetry.FlightEvent{
+			Kind: "repl.unavailable", OID: uint64(oid),
+			TraceID: sc.TraceID, SpanID: sc.SpanID,
+			Detail: op, Err: err.Error(),
+		})
+		e.flight.Dump("unavailable: " + op)
+	}
+	return werr
+}
+
+// payloadBytes totals the serialized state carried by a payload.
+func payloadBytes(p *Payload) int {
+	n := 0
+	for i := range p.Objects {
+		n += len(p.Objects[i].State)
+	}
+	return n
 }
 
 // Telemetry returns the engine's hub (nil when telemetry is disabled).
@@ -227,9 +275,10 @@ func (e *Engine) NewRef(target any) (*objmodel.Ref, error) {
 	r := objmodel.NewLocalRef(target, entry.OID)
 	if entry.Role == heap.Replica {
 		if prov := entry.Provider(); !prov.IsZero() {
-			r.SetRemote(&remoteInvoker{rt: e.rt, provider: prov})
+			r.SetRemote(&remoteInvoker{eng: e, provider: prov, oid: entry.OID})
 		}
 	}
+	e.observeRef(r)
 	return r, nil
 }
 
@@ -280,7 +329,9 @@ func init() {
 // spec controls how much each fault replicates.
 func (e *Engine) RefFromDescriptor(d Descriptor, spec GetSpec) *objmodel.Ref {
 	pout := e.newProxyOut(objmodel.OID(d.OID), d.Provider, spec.normalize())
-	return objmodel.NewFaultingRef(objmodel.OID(d.OID), pout, pout)
+	r := objmodel.NewFaultingRef(objmodel.OID(d.OID), pout, pout)
+	e.observeRef(r)
+	return r
 }
 
 // exportProxyIn exports (or reuses) the proxy-in serving entry's object.
@@ -424,7 +475,8 @@ func (e *Engine) assemble(sc telemetry.SpanContext, root *heap.Entry, spec GetSp
 	}
 	e.emit(Event{
 		Kind: EventPayloadAssembled, OID: root.OID, Objects: len(p.Objects),
-		Frontier: len(p.Frontier), Clustered: p.Clustered, Requester: requester,
+		Bytes: payloadBytes(p), Frontier: len(p.Frontier), Clustered: p.Clustered,
+		Requester: requester,
 	})
 	return p, nil
 }
@@ -568,8 +620,8 @@ func (e *Engine) materialize(sc telemetry.SpanContext, p *Payload) (root any, er
 		return nil, fmt.Errorf("replication: payload root %d missing after materialization", p.RootOID)
 	}
 	e.emit(Event{
-		Kind: EventPayloadMaterialized, OID: rootEntry.OID,
-		Objects: len(p.Objects), Frontier: len(p.Frontier), Clustered: p.Clustered,
+		Kind: EventPayloadMaterialized, OID: rootEntry.OID, Objects: len(p.Objects),
+		Bytes: payloadBytes(p), Frontier: len(p.Frontier), Clustered: p.Clustered,
 	})
 	return rootEntry.Obj, nil
 }
@@ -578,6 +630,7 @@ func (e *Engine) materialize(sc telemetry.SpanContext, p *Payload) (root any, er
 // the target is here, otherwise to a frontier proxy-out.
 func (e *Engine) bindRefs(obj any, frontier map[objmodel.OID]FrontierRef, spec GetSpec) error {
 	for _, ref := range objmodel.RefsOf(obj) {
+		e.observeRef(ref)
 		if ref.IsResolved() {
 			continue
 		}
@@ -588,7 +641,7 @@ func (e *Engine) bindRefs(obj any, frontier map[objmodel.OID]FrontierRef, spec G
 		if te, ok := e.heap.Get(toid); ok {
 			ref.BindLocal(te.Obj, toid)
 			if prov := te.Provider(); !prov.IsZero() {
-				ref.SetRemote(&remoteInvoker{rt: e.rt, provider: prov})
+				ref.SetRemote(&remoteInvoker{eng: e, provider: prov, oid: toid})
 			}
 			continue
 		}
@@ -667,7 +720,7 @@ func (e *Engine) PutTraced(sc telemetry.SpanContext, obj any) (err error) {
 	}
 	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Put", req)
 	if err != nil {
-		return fmt.Errorf("replication: put %v: %w", entry.OID, wrapUnavailable(err))
+		return fmt.Errorf("replication: put %v: %w", entry.OID, e.failUnavailable("put", entry.OID, span.Context(), err))
 	}
 	reply, ok := res[0].(*PutReply)
 	if !ok {
@@ -728,7 +781,7 @@ func (e *Engine) PutClusterTraced(sc telemetry.SpanContext, obj any) (err error)
 	}
 	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "PutCluster", creq)
 	if err != nil {
-		return fmt.Errorf("replication: put cluster %v: %w", root, wrapUnavailable(err))
+		return fmt.Errorf("replication: put cluster %v: %w", root, e.failUnavailable("put.cluster", root, span.Context(), err))
 	}
 	versions, ok := res[0].([]any)
 	if !ok || len(versions) != len(members) {
@@ -848,6 +901,7 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
+	start := time.Now()
 	span := e.startSpan(sc, "refresh")
 	span.Annotate("oid", fmt.Sprint(entry.OID))
 	defer func() {
@@ -862,7 +916,7 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	}
 	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
 	if err != nil {
-		return fmt.Errorf("replication: refresh %v: %w", entry.OID, wrapUnavailable(err))
+		return fmt.Errorf("replication: refresh %v: %w", entry.OID, e.failUnavailable("refresh", entry.OID, span.Context(), err))
 	}
 	payload, ok := res[0].(*Payload)
 	if !ok {
@@ -871,6 +925,10 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	if _, err := e.materialize(span.Context(), payload); err != nil {
 		return err
 	}
+	e.emit(Event{
+		Kind: EventReplicaRefreshed, OID: entry.OID, Objects: len(payload.Objects),
+		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: time.Since(start),
+	})
 	return nil
 }
 

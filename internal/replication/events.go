@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"obiwan/internal/objmodel"
+	"obiwan/internal/telemetry"
 )
 
 // EventKind identifies a protocol step in the replication trace.
@@ -22,6 +23,9 @@ const (
 	EventPutApplied
 	// EventPutShipped: this site (as replica holder) shipped an update.
 	EventPutShipped
+	// EventReplicaRefreshed: this site re-fetched a replica's state from
+	// its provider (a remote demand without an object fault).
+	EventReplicaRefreshed
 )
 
 func (k EventKind) String() string {
@@ -36,6 +40,8 @@ func (k EventKind) String() string {
 		return "put-applied"
 	case EventPutShipped:
 		return "put-shipped"
+	case EventReplicaRefreshed:
+		return "replica-refreshed"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -49,6 +55,8 @@ type Event struct {
 	OID objmodel.OID
 	// Objects counts the objects in a payload.
 	Objects int
+	// Bytes totals the serialized object state carried by a payload.
+	Bytes int
 	// Frontier counts the frontier descriptors in a payload.
 	Frontier int
 	// Clustered marks clustered payloads.
@@ -64,8 +72,8 @@ type Event struct {
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("%s oid=%v objects=%d frontier=%d clustered=%v fromHeap=%v v=%d %v",
-		e.Kind, e.OID, e.Objects, e.Frontier, e.Clustered, e.FromHeap, e.Version, e.Elapsed.Round(time.Microsecond))
+	return fmt.Sprintf("%s oid=%v objects=%d bytes=%d frontier=%d clustered=%v fromHeap=%v v=%d %v",
+		e.Kind, e.OID, e.Objects, e.Bytes, e.Frontier, e.Clustered, e.FromHeap, e.Version, e.Elapsed.Round(time.Microsecond))
 }
 
 // EventObserver receives protocol events. It is called synchronously on
@@ -133,9 +141,10 @@ func (e *Engine) emit(ev Event) {
 	}
 }
 
-// recordEventMetrics maps protocol events onto the repl.* instruments.
-// Every instrument is nil — and every call below a no-op — when telemetry
-// is disabled.
+// recordEventMetrics maps protocol events onto the repl.* instruments,
+// the per-object profiler, and the flight recorder. Every instrument,
+// the profiler, and the recorder are nil — and every call below a no-op
+// — when telemetry is disabled.
 func (e *Engine) recordEventMetrics(ev Event) {
 	switch ev.Kind {
 	case EventFaultResolved:
@@ -145,6 +154,7 @@ func (e *Engine) recordEventMetrics(ev Event) {
 		} else {
 			e.met.faultLatency.ObserveDuration(ev.Elapsed)
 		}
+		e.prof.RecordFault(uint64(ev.OID), ev.FromHeap, ev.Clustered, ev.Objects, ev.Bytes, ev.Elapsed)
 	case EventPayloadAssembled:
 		e.met.assembled.Inc()
 		e.met.payloadObjs.Observe(int64(ev.Objects))
@@ -153,11 +163,23 @@ func (e *Engine) recordEventMetrics(ev Event) {
 		} else {
 			e.met.batch.Inc()
 		}
+		e.prof.RecordServe(uint64(ev.OID), ev.Objects, ev.Bytes)
 	case EventPayloadMaterialized:
 		e.met.materialized.Inc()
+	case EventReplicaRefreshed:
+		e.met.refreshes.Inc()
+		e.prof.RecordRefresh(uint64(ev.OID), ev.Clustered, ev.Objects, ev.Bytes, ev.Elapsed)
 	case EventPutShipped:
 		e.met.putsShipped.Inc()
+		e.prof.RecordPutShipped(uint64(ev.OID))
 	case EventPutApplied:
 		e.met.putsApplied.Inc()
+		e.prof.RecordPutApplied(uint64(ev.OID))
+	}
+	if e.flight != nil {
+		e.flight.Record(telemetry.FlightEvent{
+			Kind: "repl." + ev.Kind.String(), OID: uint64(ev.OID),
+			Detail: fmt.Sprintf("objects=%d bytes=%d", ev.Objects, ev.Bytes),
+		})
 	}
 }

@@ -149,7 +149,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 	}
 	res, err := p.eng.rt.CallTracedTimeout(span.Context(), p.provider, BulkTimeout, "Get", &spec, string(p.eng.rt.Addr()))
 	if err != nil {
-		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, wrapUnavailable(err))
+		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, p.eng.failUnavailable("demand", p.oid, span.Context(), err))
 	}
 	payload, ok := res[0].(*Payload)
 	if !ok {
@@ -161,18 +161,18 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 	}
 	p.eng.emit(Event{
 		Kind: EventFaultResolved, OID: p.oid, Objects: len(payload.Objects),
-		Clustered: payload.Clustered, Elapsed: time.Since(start),
+		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: time.Since(start),
 	})
-	return root, &remoteInvoker{rt: p.eng.rt, provider: p.provider}, nil
+	return root, &remoteInvoker{eng: p.eng, provider: p.provider, oid: p.oid}, nil
 }
 
 // remoteForEntry builds the master-directed invoker for an entry, if it has
 // a provider.
 func (p *ProxyOut) remoteForEntry(e *heap.Entry) objmodel.RemoteInvoker {
 	if prov := e.Provider(); !prov.IsZero() {
-		return &remoteInvoker{rt: p.eng.rt, provider: prov}
+		return &remoteInvoker{eng: p.eng, provider: prov, oid: p.oid}
 	}
-	return &remoteInvoker{rt: p.eng.rt, provider: p.provider}
+	return &remoteInvoker{eng: p.eng, provider: p.provider, oid: p.oid}
 }
 
 // RemoteInvoke implements objmodel.RemoteInvoker: it calls the master
@@ -180,7 +180,7 @@ func (p *ProxyOut) remoteForEntry(e *heap.Entry) objmodel.RemoteInvoker {
 func (p *ProxyOut) RemoteInvoke(method string, args []any) ([]any, error) {
 	res, err := p.eng.rt.Call(p.provider, "Invoke", method, args)
 	if err != nil {
-		return nil, wrapUnavailable(err)
+		return nil, p.eng.failUnavailable("invoke", p.oid, telemetry.SpanContext{}, err)
 	}
 	if len(res) == 0 || res[0] == nil {
 		return nil, nil
@@ -203,17 +203,20 @@ func (p *ProxyOut) PreferLocal(calls uint64) bool {
 
 // remoteInvoker is the lightweight master-directed invoker a Ref keeps
 // after resolution, so ModeRemote keeps working once the ProxyOut is gone.
+// It carries the target's identity so RMI failures are attributable in
+// the flight recorder.
 type remoteInvoker struct {
-	rt       *rmi.Runtime
+	eng      *Engine
 	provider rmi.RemoteRef
+	oid      objmodel.OID
 }
 
 var _ objmodel.RemoteInvoker = (*remoteInvoker)(nil)
 
 func (ri *remoteInvoker) RemoteInvoke(method string, args []any) ([]any, error) {
-	res, err := ri.rt.Call(ri.provider, "Invoke", method, args)
+	res, err := ri.eng.rt.Call(ri.provider, "Invoke", method, args)
 	if err != nil {
-		return nil, wrapUnavailable(err)
+		return nil, ri.eng.failUnavailable("invoke", ri.oid, telemetry.SpanContext{}, err)
 	}
 	if len(res) == 0 || res[0] == nil {
 		return nil, nil

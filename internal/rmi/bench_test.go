@@ -107,6 +107,59 @@ func BenchmarkCallTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkCallProfile prices the observability additions riding on the
+// call path: the flight-recorder hook in doCall and the profiler-bearing
+// hub. "off" runs a hub-less pair — it must match BenchmarkCallNull
+// alloc-for-alloc, because the disabled state is a nil check, nothing
+// more. "on" runs hub-bearing runtimes (profiler and flight recorder
+// live) serving untraced calls: the steady-state cost of keeping the
+// recorders armed when nothing fails.
+func BenchmarkCallProfile(b *testing.B) {
+	run := func(b *testing.B, server, client *Runtime) {
+		b.Helper()
+		ref, err := server.Export(&calculator{}, "Calculator")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Call(ref, "Total"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Call(ref, "Total"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		server, client := benchPair(b)
+		if client.flight != nil {
+			b.Fatal("hub-less runtime armed a flight recorder")
+		}
+		run(b, server, client)
+	})
+	b.Run("on", func(b *testing.B) {
+		net := transport.NewMemNetwork(netsim.Profile{Name: "zero"})
+		server, err := NewRuntime(net, "server", WithTelemetry(telemetry.NewHub("server")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := NewRuntime(net, "client", WithTelemetry(telemetry.NewHub("client")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			_ = client.Close()
+			_ = server.Close()
+		})
+		if client.flight == nil {
+			b.Fatal("hub-bearing runtime left the flight recorder nil")
+		}
+		run(b, server, client)
+	})
+}
+
 func BenchmarkCallWithBytes(b *testing.B) {
 	server, client := benchPair(b)
 	ref, err := server.Export(&calculator{}, "Calculator")

@@ -220,6 +220,12 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 	finish := func(results []any, err error) ([]any, error) {
 		span.SetErr(err)
 		span.End()
+		if err != nil && rt.flight != nil {
+			rt.flight.Record(telemetry.FlightEvent{
+				Kind: "rmi.fail", TraceID: wireSC.TraceID, SpanID: wireSC.SpanID,
+				Detail: method + " to " + string(ref.Addr), Err: err.Error(),
+			})
+		}
 		return results, err
 	}
 
@@ -241,6 +247,12 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 			rt.stats.retries.Add(1)
 			rt.met.retries.Inc()
 			span.Annotate("attempt", strconv.Itoa(attempt))
+			if rt.flight != nil {
+				rt.flight.Record(telemetry.FlightEvent{
+					Kind: "rmi.retry", TraceID: wireSC.TraceID, SpanID: wireSC.SpanID,
+					Detail: method + " to " + string(ref.Addr) + " attempt=" + strconv.Itoa(attempt),
+				})
+			}
 			if !rt.sleepBackoff(attempt-1, deadline) {
 				select {
 				case <-rt.closed:

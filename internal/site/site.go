@@ -134,6 +134,12 @@ type Site struct {
 	applier *dissemination.Applier
 	tel     *telemetry.Hub // nil when built WithoutTelemetry
 
+	// fetchFactor seeds the ModeAuto advisors (see qos.Advisor).
+	fetchFactor float64
+	// stopSampler halts the runtime-stats sampling goroutine; no-op func
+	// when telemetry is off.
+	stopSampler func()
+
 	// met holds the site-level instruments, pre-resolved once at
 	// construction; all are nil-safe no-ops when telemetry is off.
 	met struct {
@@ -215,14 +221,15 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	}
 
 	s := &Site{
-		name:    name,
-		rt:      rt,
-		heap:    heap.New(o.siteID),
-		monitor: monitor,
-		stale:   consistency.NewStaleSet(),
-		lease:   o.lease,
-		spec:    o.defaultSpec,
-		tel:     hub,
+		name:        name,
+		rt:          rt,
+		heap:        heap.New(o.siteID),
+		monitor:     monitor,
+		stale:       consistency.NewStaleSet(),
+		lease:       o.lease,
+		spec:        o.defaultSpec,
+		fetchFactor: o.fetchFactor,
+		tel:         hub,
 	}
 	if m := hub.Metrics(); m != nil {
 		s.met.syncedDirty = m.Counter("site.sync.dirty")
@@ -311,7 +318,18 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 			return nil, fmt.Errorf("site %q: compact after recovery: %w", name, err)
 		}
 		d.startCompactor()
+		// A second (or later) incarnation means the previous life ended —
+		// cleanly or not. Preserve the moment in the flight recorder so a
+		// post-mortem can correlate recovery with what followed.
+		if f := hub.Flight(); f != nil && store.Incarnation() > 1 {
+			f.Record(telemetry.FlightEvent{
+				Kind:   "site.recovery",
+				Detail: fmt.Sprintf("incarnation=%d records=%d", store.Incarnation(), len(recovered.Records())),
+			})
+			f.Dump("crash recovery")
+		}
 	}
+	s.stopSampler = hub.StartRuntimeSampler(10 * time.Second)
 	return s, nil
 }
 
@@ -341,6 +359,25 @@ func (s *Site) InspectTraces(addr transport.Addr, max uint64) (*telemetry.TraceD
 	return admin.NewClient(s.rt, AdminRef(addr)).Traces(max)
 }
 
+// InspectProfile fetches a peer site's per-object replication profiles,
+// hottest first (topK 0: all tracked objects).
+func (s *Site) InspectProfile(addr transport.Addr, topK uint64) (*telemetry.ProfileSnapshot, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Profile(topK)
+}
+
+// InspectFlight fetches a peer site's flight-recorder dump: the last
+// stored dump if one exists, else a live snapshot.
+func (s *Site) InspectFlight(addr transport.Addr) (*telemetry.FlightDump, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Flight()
+}
+
+// WatchPeer fetches one telemetry streaming chunk from a peer site:
+// metrics plus the spans finished since cursor. Feed the chunk's
+// NextCursor back in to stream without duplicates.
+func (s *Site) WatchPeer(addr transport.Addr, cursor uint64, maxSpans uint64) (*admin.WatchChunk, error) {
+	return admin.NewClient(s.rt, AdminRef(addr)).Watch(cursor, maxSpans)
+}
+
 // hashSiteID derives a stable non-zero 16-bit id from the site name (FNV-1a).
 func hashSiteID(name string) uint16 {
 	var h uint32 = 2166136261
@@ -355,9 +392,14 @@ func hashSiteID(name string) uint16 {
 	return id
 }
 
-// crossover implements the ModeAuto decision using per-peer advisors.
+// crossover implements the ModeAuto decision using per-peer advisors fed
+// by the site's replication profiler: measured demand latency replaces
+// the assumed fetch factor once the site has observed real demands.
 func (s *Site) crossover(peer transport.Addr, oid objmodel.OID, calls uint64) bool {
-	adv := qos.NewAdvisor(s.monitor, peer)
+	adv := qos.NewProfiledAdvisor(s.monitor, peer, s.tel.Profiler())
+	if s.fetchFactor > 0 {
+		adv.FetchFactor = s.fetchFactor
+	}
 	return adv.Crossover(oid, calls)
 }
 
@@ -421,6 +463,9 @@ func (s *Site) Incarnation() uint64 {
 // closes the WAL. Idempotent — repeated calls return the first result.
 func (s *Site) Close() error {
 	s.closeOnce.Do(func() {
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
 		if s.durable != nil {
 			s.durable.stop()
 			// Best-effort: the log alone already holds everything the
@@ -443,6 +488,9 @@ func (s *Site) Close() error {
 // is left exactly as a power failure would — recovery must cope.
 func (s *Site) Kill() {
 	s.closeOnce.Do(func() {
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
 		if s.durable != nil {
 			s.durable.stop()
 		}

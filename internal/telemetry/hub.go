@@ -2,22 +2,27 @@ package telemetry
 
 import "time"
 
-// Hub bundles one site's tracer and metrics registry. A nil *Hub is the
-// disabled state: every method no-ops or returns nil instruments, so the
-// instrumented hot paths cost one nil check when telemetry is off.
+// Hub bundles one site's tracer, metrics registry, per-object profiler,
+// and flight recorder. A nil *Hub is the disabled state: every method
+// no-ops or returns nil instruments, so the instrumented hot paths cost
+// one nil check when telemetry is off.
 type Hub struct {
-	site    string
-	tracer  *Tracer
-	metrics *Metrics
-	clock   func() time.Time
+	site     string
+	tracer   *Tracer
+	metrics  *Metrics
+	profiler *Profiler
+	flight   *FlightRecorder
+	clock    func() time.Time
 }
 
 // HubOption configures a Hub.
 type HubOption func(*hubConfig)
 
 type hubConfig struct {
-	clock    func() time.Time
-	capacity int
+	clock      func() time.Time
+	capacity   int
+	profileCap int
+	flightCap  int
 }
 
 // WithClock injects the hub's time source — how netsim scenarios keep
@@ -31,6 +36,18 @@ func WithSpanCapacity(n int) HubOption {
 	return func(c *hubConfig) { c.capacity = n }
 }
 
+// WithProfileCapacity sets how many objects the profiler tracks
+// (default 256).
+func WithProfileCapacity(n int) HubOption {
+	return func(c *hubConfig) { c.profileCap = n }
+}
+
+// WithFlightCapacity sets the flight recorder's event ring size
+// (default 512).
+func WithFlightCapacity(n int) HubOption {
+	return func(c *hubConfig) { c.flightCap = n }
+}
+
 // NewHub builds the telemetry hub for the named site.
 func NewHub(site string, opts ...HubOption) *Hub {
 	cfg := hubConfig{}
@@ -42,10 +59,12 @@ func NewHub(site string, opts ...HubOption) *Hub {
 		clock = time.Now
 	}
 	return &Hub{
-		site:    site,
-		tracer:  newTracer(site, clock, cfg.capacity),
-		metrics: NewMetrics(),
-		clock:   clock,
+		site:     site,
+		tracer:   newTracer(site, clock, cfg.capacity),
+		metrics:  NewMetrics(),
+		profiler: NewProfiler(cfg.profileCap),
+		flight:   newFlightRecorder(site, clock, cfg.flightCap),
+		clock:    clock,
 	}
 }
 
@@ -75,6 +94,24 @@ func (h *Hub) Tracer() *Tracer {
 		return nil
 	}
 	return h.tracer
+}
+
+// Profiler returns the per-object replication profiler (nil when
+// disabled — a nil profiler no-ops).
+func (h *Hub) Profiler() *Profiler {
+	if h == nil {
+		return nil
+	}
+	return h.profiler
+}
+
+// Flight returns the flight recorder (nil when disabled — a nil recorder
+// no-ops).
+func (h *Hub) Flight() *FlightRecorder {
+	if h == nil {
+		return nil
+	}
+	return h.flight
 }
 
 // Now returns the hub's clock reading (wall clock when disabled).
@@ -113,4 +150,25 @@ func (h *Hub) Spans(max int) []SpanRecord {
 		return nil
 	}
 	return h.tracer.Snapshot(max)
+}
+
+// SpansSince returns up to max finished spans committed at or after
+// cursor (a count of spans ever committed), oldest first, plus the
+// cursor to resume from and how many requested spans had already been
+// evicted. Feeding next back in yields each span exactly once — the
+// streaming contract behind the admin Watch endpoint.
+func (h *Hub) SpansSince(cursor uint64, max int) (spans []SpanRecord, next uint64, missed uint64) {
+	if h == nil {
+		return nil, cursor, 0
+	}
+	return h.tracer.SnapshotSince(cursor, max)
+}
+
+// ProfileSnapshot exports the topK hottest object profiles (all tracked
+// when topK <= 0). Empty, but non-nil, when disabled.
+func (h *Hub) ProfileSnapshot(topK int) *ProfileSnapshot {
+	if h == nil {
+		return &ProfileSnapshot{}
+	}
+	return h.profiler.Snapshot(h.site, h.clock().UnixNano(), topK)
 }

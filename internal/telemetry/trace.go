@@ -228,6 +228,42 @@ func (t *Tracer) Snapshot(max int) []SpanRecord {
 	return out
 }
 
+// SnapshotSince returns up to max finished spans (all when max <= 0)
+// committed at or after cursor, oldest first. The cursor counts spans
+// ever committed: 0 starts from the oldest retained span, and the
+// returned next value resumes exactly where this call stopped, so a
+// poller sees every retained span exactly once — across disconnects too,
+// since the cursor lives at the client. missed counts requested spans
+// that were already evicted from the ring (the poller fell behind).
+func (t *Tracer) SnapshotSince(cursor uint64, max int) (spans []SpanRecord, next uint64, missed uint64) {
+	if t == nil {
+		return nil, cursor, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldest := t.total - uint64(len(t.ring))
+	if cursor > t.total {
+		cursor = t.total
+	}
+	if cursor < oldest {
+		missed = oldest - cursor
+		cursor = oldest
+	}
+	n := t.total - cursor
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	spans = make([]SpanRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		pos := int(cursor + i - oldest)
+		if len(t.ring) == cap(t.ring) {
+			pos = (t.next + pos) % len(t.ring)
+		}
+		spans = append(spans, t.ring[pos])
+	}
+	return spans, cursor + n, missed
+}
+
 // Dropped returns how many finished spans were evicted from the ring.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {

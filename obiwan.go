@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"obiwan/internal/admin"
 	"obiwan/internal/consistency"
 	"obiwan/internal/dissemination"
 	"obiwan/internal/heap"
@@ -203,6 +204,19 @@ type (
 	MetricsSnapshot = telemetry.MetricsSnapshot
 	// TraceDump is a site's exported recent spans.
 	TraceDump = telemetry.TraceDump
+	// ObjectProfile is one object's replication profile: faults, demand
+	// depth and bytes, LMI/RMI split, serve and put accounting.
+	ObjectProfile = telemetry.ObjectProfile
+	// ProfileSnapshot is a site's top-K hot-object profile export.
+	ProfileSnapshot = telemetry.ProfileSnapshot
+	// FlightEvent is one entry in a site's flight recorder.
+	FlightEvent = telemetry.FlightEvent
+	// FlightDump is a stored flight-recorder ring — the last protocol,
+	// retry, and WAL events before a failure or recovery.
+	FlightDump = telemetry.FlightDump
+	// WatchChunk is one streamed telemetry poll: new spans since the
+	// watcher's cursor plus the site's current metrics (Site.WatchPeer).
+	WatchChunk = admin.WatchChunk
 )
 
 var (
