@@ -66,18 +66,56 @@ func DefaultRetry() rmi.RetryPolicy {
 
 // World is one simulated deployment: a seeded in-memory network, the
 // sites running on it, and the fault schedules attached to its links.
+// A world runs on a netsim.Clock — the real one by default, or a
+// VirtualClock (NewWorldClock), under which the same scenarios execute as
+// a discrete-event simulation: identical failure histories, near-zero wall
+// time.
 type World struct {
-	Seed int64
-	Net  *transport.MemNetwork
+	Seed  int64
+	Net   *transport.MemNetwork
+	Clock netsim.Clock
 
 	sites  []*site.Site
 	scheds []*netsim.FaultSchedule
 }
 
-// NewWorld creates a world whose link randomness (and, by convention, its
-// scenario randomness) derives from seed.
+// NewWorld creates a world on the real clock whose link randomness (and,
+// by convention, its scenario randomness) derives from seed.
 func NewWorld(seed int64) *World {
-	return &World{Seed: seed, Net: transport.NewMemNetworkSeeded(netsim.Loopback, seed)}
+	return NewWorldClock(seed, netsim.Real())
+}
+
+// NewWorldClock is NewWorld on an explicit clock. With a
+// *netsim.VirtualClock every simulated delay — link latency, retry
+// backoff, scheduled outages — is an event on the virtual timeline, and
+// scenario code must run tracked (see Run).
+func NewWorldClock(seed int64, clock netsim.Clock) *World {
+	return &World{
+		Seed:  seed,
+		Clock: clock,
+		Net:   transport.NewMemNetworkClock(netsim.Loopback, seed, clock),
+	}
+}
+
+// Virtual reports whether the world runs on a virtual clock.
+func (w *World) Virtual() bool {
+	_, ok := w.Clock.(*netsim.VirtualClock)
+	return ok
+}
+
+// Run executes fn as simulated work: tracked by the virtual clock when the
+// world has one (blocking in real time until fn returns), directly
+// otherwise. All site operations in a virtual world — including NewSite,
+// Close, and Kill — must happen inside Run, because they park on the
+// clock.
+func (w *World) Run(fn func() error) error {
+	vc, ok := w.Clock.(*netsim.VirtualClock)
+	if !ok {
+		return fn()
+	}
+	var err error
+	vc.Run(func() { err = fn() })
+	return err
 }
 
 // NewSite starts a site in this world with the chaos retry policy (an
@@ -106,10 +144,18 @@ func (w *World) NewDurableSite(name, dir string, opts ...site.Option) (*site.Sit
 // Close remains safe to call afterwards (it is a no-op).
 func (w *World) Kill(s *site.Site) { s.Kill() }
 
-// Close shuts every site down, newest first.
+// Close shuts every site down, newest first. In a virtual world the
+// shutdowns run tracked (site teardown drains in-flight simulated work),
+// and the clock is stopped afterwards.
 func (w *World) Close() {
-	for i := len(w.sites) - 1; i >= 0; i-- {
-		_ = w.sites[i].Close()
+	_ = w.Run(func() error {
+		for i := len(w.sites) - 1; i >= 0; i-- {
+			_ = w.sites[i].Close()
+		}
+		return nil
+	})
+	if vc, ok := w.Clock.(*netsim.VirtualClock); ok {
+		vc.Stop()
 	}
 }
 
@@ -150,6 +196,21 @@ func Within(d time.Duration, op func() error) error {
 	case <-time.After(d):
 		return fmt.Errorf("%w: no result after %v", ErrHung, d)
 	}
+}
+
+// Within is the world-aware watchdog: op runs as simulated work (see Run)
+// while the wall-clock budget d guards against a wedged simulation — a
+// virtual world that deadlocks burns no virtual time, so only a real-time
+// watchdog can catch it. On a hang the clock state is appended to the
+// error for diagnosis.
+func (w *World) Within(d time.Duration, op func() error) error {
+	err := Within(d, func() error { return w.Run(op) })
+	if errors.Is(err, ErrHung) {
+		if vc, ok := w.Clock.(*netsim.VirtualClock); ok {
+			return fmt.Errorf("%w (%s)", err, vc.Snapshot())
+		}
+	}
+	return err
 }
 
 // BuildChain registers n master nodes a→b→c… at s and returns them head

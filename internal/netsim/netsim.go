@@ -119,6 +119,7 @@ type Stats struct {
 // concurrent use.
 type Link struct {
 	mu       sync.Mutex
+	clock    Clock
 	profile  Profile
 	rng      *rand.Rand
 	down     bool
@@ -128,10 +129,18 @@ type Link struct {
 	stats    Stats
 }
 
-// NewLink returns a link with the given profile. Seed makes the loss and
-// jitter stream deterministic for reproducible experiments.
+// NewLink returns a link with the given profile on the real clock. Seed
+// makes the loss and jitter stream deterministic for reproducible
+// experiments.
 func NewLink(p Profile, seed int64) *Link {
-	return &Link{profile: p, rng: rand.New(rand.NewSource(seed))}
+	return NewLinkClock(p, seed, Real())
+}
+
+// NewLinkClock is NewLink on an explicit clock: the occupancy model reads
+// "now" from it, so under a VirtualClock the link serializes messages on
+// the virtual timeline.
+func NewLinkClock(p Profile, seed int64, c Clock) *Link {
+	return &Link{clock: c, profile: p, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Profile returns the link's current profile.
@@ -193,7 +202,7 @@ func (l *Link) Stats() Stats {
 // transmission. Plan returns ErrDisconnected while the link is down and
 // ErrDropped when the loss model discards the message.
 func (l *Link) Plan(size int) (time.Duration, error) {
-	now := time.Now()
+	now := l.clock.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var extra time.Duration
@@ -248,16 +257,41 @@ func (l *Link) Plan(size int) (time.Duration, error) {
 // overshoot while bounding the spin cost per message.
 const sleepSlack = 2 * time.Millisecond
 
+// napGranularity is a conservative bound on the true cost of a short
+// kernel sleep: a coarse-timer host rounds any nap up to roughly one
+// tick (≈1 ms observed). While more than this remains until the
+// deadline, SleepUntil can nap without risk of overshooting; the final
+// stretch below it must be yield-spun, because no kernel sleep can land
+// inside a tick. The spin is thereby time-capped at about one tick per
+// message — a coarse host cannot spin longer, and a fine-grained host
+// exits the loop almost immediately. A VirtualClock bypasses this path
+// entirely: its wakeups are exact events with no spin at all.
+const napGranularity = 1500 * time.Microsecond
+
+// spinFallbackSleep is the nap requested while napGranularity still
+// remains; the kernel rounds it up, which is fine from that distance.
+const spinFallbackSleep = 50 * time.Microsecond
+
 // SleepUntil blocks until the deadline with sub-tick precision: a kernel
-// sleep for the bulk of the wait, then a yield loop for the final stretch.
-// The simulated link model depends on this precision — a plain time.Sleep
-// overshoots by a kernel timer tick (≈1 ms), which would double a 2.8 ms
-// RPC round trip.
+// sleep for the bulk of the wait, naps while a safe margin remains, then
+// a yield loop for the final sub-tick stretch. The simulated link model
+// depends on this precision — a plain time.Sleep overshoots by a kernel
+// timer tick (≈1 ms), which would double a 2.8 ms RPC round trip.
 func SleepUntil(deadline time.Time) {
 	if d := time.Until(deadline); d > sleepSlack {
 		time.Sleep(d - sleepSlack)
 	}
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > napGranularity {
+			// Even rounded up to a whole tick, the nap cannot carry us
+			// past the deadline from this far out.
+			time.Sleep(spinFallbackSleep)
+		} else {
+			runtime.Gosched()
+		}
 	}
 }

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: the clock is not an input to the network model. For any seeded
+// schedule over any topology, the message orderings produced by Link.Plan
+// are a function of the schedule and the link seeds alone —
+//
+//  1. a serial walk produces identical per-link streams under the real
+//     clock and a VirtualClock (the loss stream and verdict sequence must
+//     not be perturbed by how time is told), and
+//  2. a concurrent walk under a VirtualClock is bit-identical from run to
+//     run, full profile (bandwidth occupancy, jitter, loss) included —
+//     the determinism the swarm harness is built on.
+//
+// Bandwidth and jitter are excluded from the cross-clock leg: both fold
+// absolute send times into the returned delay (occupancy and the FIFO
+// arrival clamp), and real sleeps land at imprecise instants by nature.
+// The virtual-vs-virtual leg covers them.
+
+// propTopology is a set of store-and-forward paths over a pool of directed
+// links. Paths may share links (tree), so concurrent walkers contend for
+// the same occupancy and rng streams.
+type propTopology struct {
+	name  string
+	links int
+	paths [][]int
+}
+
+var propTopologies = []propTopology{
+	{"chain", 3, [][]int{{0, 1, 2}}},
+	{"tree", 6, [][]int{{0, 2}, {0, 3}, {1, 4}, {1, 5}}},
+	{"diamond", 4, [][]int{{0, 2}, {1, 3}}},
+}
+
+// propSchedule is the quick-generated workload: per path, per message, a
+// pre-send gap and a payload size.
+type propSchedule struct {
+	Seed  int64
+	Gaps  [4][4]uint16
+	Sizes [4][4]uint16
+}
+
+func (s propSchedule) gap(p, m int) time.Duration {
+	return time.Duration(s.Gaps[p][m]%100) * time.Microsecond
+}
+
+func (s propSchedule) size(p, m int) int {
+	return int(s.Sizes[p][m])%1400 + 1
+}
+
+// crossClockProfile exercises the loss model without clock-dependent delay
+// components (see the package comment above).
+var crossClockProfile = Profile{
+	Name:               "prop-lossy",
+	Latency:            200 * time.Microsecond,
+	PerMessageOverhead: 10 * time.Microsecond,
+	LossRate:           0.2,
+}
+
+// fullProfile exercises everything at once for the virtual-only leg.
+var fullProfile = Profile{
+	Name:               "prop-full",
+	Latency:            300 * time.Microsecond,
+	Jitter:             80 * time.Microsecond,
+	BandwidthBps:       10_000_000 / 8,
+	LossRate:           0.15,
+	PerMessageOverhead: 20 * time.Microsecond,
+}
+
+// walkSerial drives every path's schedule from one goroutine in a fixed
+// order, store-and-forward along each path, and returns the per-link
+// stream of (message, path, size, delay, verdict) tuples.
+func walkSerial(clock Clock, topo propTopology, profile Profile, s propSchedule) [][]string {
+	links := make([]*Link, topo.links)
+	for i := range links {
+		links[i] = NewLinkClock(profile, s.Seed+int64(i), clock)
+	}
+	per := make([][]string, topo.links)
+	walk := func() {
+		for m := 0; m < 4; m++ {
+			for pi, path := range topo.paths {
+				clock.Sleep(s.gap(pi, m))
+				size := s.size(pi, m)
+				for _, li := range path {
+					d, err := links[li].Plan(size)
+					per[li] = append(per[li], fmt.Sprintf("m%d p%d %dB +%v %v", m, pi, size, d, err))
+					if err != nil {
+						break // dropped: nothing to forward
+					}
+					clock.Sleep(d)
+				}
+			}
+		}
+	}
+	if vc, ok := clock.(*VirtualClock); ok {
+		vc.Run(walk)
+		vc.Stop()
+	} else {
+		walk()
+	}
+	return per
+}
+
+// walkConcurrent drives each path from its own tracked goroutine on a
+// fresh VirtualClock and returns the global timestamped event stream.
+func walkConcurrent(topo propTopology, profile Profile, s propSchedule) []string {
+	vc := NewVirtualClock()
+	defer vc.Stop()
+	links := make([]*Link, topo.links)
+	for i := range links {
+		links[i] = NewLinkClock(profile, s.Seed+int64(i), vc)
+	}
+	var mu sync.Mutex
+	var global []string
+	wg := NewWaitGroup(vc)
+	vc.Run(func() {
+		for pi := range topo.paths {
+			pi := pi
+			wg.Add(1)
+			vc.Go(func() {
+				defer wg.Done()
+				for m := 0; m < 4; m++ {
+					vc.Sleep(s.gap(pi, m))
+					size := s.size(pi, m)
+					for _, li := range topo.paths[pi] {
+						d, err := links[li].Plan(size)
+						mu.Lock()
+						global = append(global, fmt.Sprintf("%v p%d m%d l%d %dB +%v %v",
+							vc.Elapsed(), pi, m, li, size, d, err))
+						mu.Unlock()
+						if err != nil {
+							break
+						}
+						vc.Sleep(d)
+					}
+				}
+			})
+		}
+		wg.Wait()
+	})
+	return global
+}
+
+func TestClockOrderingProperty(t *testing.T) {
+	prop := func(s propSchedule) bool {
+		for _, topo := range propTopologies {
+			realStreams := walkSerial(Real(), topo, crossClockProfile, s)
+			virtStreams := walkSerial(NewVirtualClock(), topo, crossClockProfile, s)
+			if !reflect.DeepEqual(realStreams, virtStreams) {
+				t.Logf("%s: real/virtual per-link streams diverge\nreal: %v\nvirt: %v",
+					topo.name, realStreams, virtStreams)
+				return false
+			}
+			run1 := walkConcurrent(topo, fullProfile, s)
+			run2 := walkConcurrent(topo, fullProfile, s)
+			if !reflect.DeepEqual(run1, run2) {
+				t.Logf("%s: virtual global order not reproducible\nrun1: %v\nrun2: %v",
+					topo.name, run1, run2)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Rand:     rand.New(rand.NewSource(1)), // reproducible schedules
+	}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package replication
 import (
 	"sync"
 
+	"obiwan/internal/netsim"
 	"obiwan/internal/objmodel"
 )
 
@@ -19,20 +20,24 @@ import (
 // A Prefetcher owns its goroutines: Close waits for them, so none outlive
 // the component that started them.
 type Prefetcher struct {
-	eng *Engine
+	eng   *Engine
+	clock netsim.Clock
 
 	mu     sync.Mutex
 	closed bool
-	wg     sync.WaitGroup
+	wg     *netsim.WaitGroup
 
 	// stats
 	resolved uint64
 	failed   uint64
 }
 
-// NewPrefetcher builds a prefetcher over eng.
+// NewPrefetcher builds a prefetcher over eng. Its walker goroutines run on
+// the engine runtime's clock, so prefetching stays sound inside
+// virtual-clock simulations.
 func NewPrefetcher(eng *Engine) *Prefetcher {
-	return &Prefetcher{eng: eng}
+	clock := eng.Runtime().Clock()
+	return &Prefetcher{eng: eng, clock: clock, wg: netsim.NewWaitGroup(clock)}
 }
 
 // Prefetch schedules a background walk from ref, resolving up to budget
@@ -47,10 +52,10 @@ func (p *Prefetcher) Prefetch(ref *objmodel.Ref, budget int) {
 	p.wg.Add(1)
 	p.mu.Unlock()
 
-	go func() {
+	p.clock.Go(func() {
 		defer p.wg.Done()
 		p.walk(ref, budget)
-	}()
+	})
 }
 
 // walk resolves faults breadth-first from ref until the budget runs out or

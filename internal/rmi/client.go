@@ -7,10 +7,66 @@ import (
 	"sync"
 	"time"
 
+	"obiwan/internal/netsim"
 	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 	"obiwan/internal/wire"
 )
+
+// replyWaiter is one in-flight call's rendezvous point. It replaces the
+// channel-and-select of the pre-virtual-clock runtime with a clock-aware
+// Cond so a caller blocked on a reply counts as idle under a VirtualClock:
+// delivery (from the read loop), expiry (from a clock timer), and
+// connection death all land here and wake the caller with a token.
+type replyWaiter struct {
+	mu       sync.Mutex
+	cond     *netsim.Cond
+	msg      any // *wire.Reply, *wire.Fault, or error
+	has      bool
+	timedOut bool
+}
+
+func newReplyWaiter(clock netsim.Clock) *replyWaiter {
+	w := &replyWaiter{}
+	w.cond = netsim.NewCond(clock, &w.mu)
+	return w
+}
+
+// deliver hands the waiter its response. A delivery always wins over a
+// concurrent expiry that has not yet been observed.
+func (w *replyWaiter) deliver(msg any) {
+	w.mu.Lock()
+	if !w.has {
+		w.msg = msg
+		w.has = true
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// expire marks the waiter timed out unless a response already landed.
+func (w *replyWaiter) expire() {
+	w.mu.Lock()
+	if !w.has && !w.timedOut {
+		w.timedOut = true
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// await blocks until a response or expiry and reports which: (msg, true)
+// for a response, (nil, false) for a timeout.
+func (w *replyWaiter) await() (any, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for !w.has && !w.timedOut {
+		w.cond.Wait()
+	}
+	if w.has {
+		return w.msg, true
+	}
+	return nil, false
+}
 
 // clientConn is one multiplexed outbound connection: many in-flight calls
 // share it, matched to replies by call id.
@@ -22,8 +78,8 @@ type clientConn struct {
 	sendMu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
-	pending map[uint64]chan any // call id → *wire.Reply or *wire.Fault or error
-	dead    error               // non-nil once the connection failed
+	pending map[uint64]*replyWaiter // call id → waiter
+	dead    error                   // non-nil once the connection failed
 }
 
 // getConn returns a live connection to addr, dialing if needed. The
@@ -66,13 +122,13 @@ func (rt *Runtime) getConn(addr transport.Addr) (*clientConn, error) {
 		rt:      rt,
 		addr:    addr,
 		conn:    conn,
-		pending: make(map[uint64]chan any),
+		pending: make(map[uint64]*replyWaiter),
 	}
 	rt.conns[addr] = c
 	rt.mu.Unlock()
 
 	rt.wg.Add(1)
-	go c.readLoop()
+	rt.clock.Go(c.readLoop)
 	return c, nil
 }
 
@@ -111,11 +167,11 @@ func (c *clientConn) readLoop() {
 			continue // a Call frame on a client conn: ignore
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[id]
+		w, ok := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if ok {
-			ch <- msg
+			w.deliver(msg)
 		}
 	}
 }
@@ -127,10 +183,10 @@ func (c *clientConn) shutdown(cause error) {
 		c.dead = cause
 	}
 	pending := c.pending
-	c.pending = make(map[uint64]chan any)
+	c.pending = make(map[uint64]*replyWaiter)
 	c.mu.Unlock()
-	for _, ch := range pending {
-		ch <- cause
+	for _, w := range pending {
+		w.deliver(cause)
 	}
 	_ = c.conn.Close()
 	c.rt.dropConn(c)
@@ -138,15 +194,15 @@ func (c *clientConn) shutdown(cause error) {
 
 // register enrolls a call id before sending, so the reply cannot race the
 // registration.
-func (c *clientConn) register(id uint64) (chan any, error) {
+func (c *clientConn) register(id uint64) (*replyWaiter, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead != nil {
 		return nil, c.dead
 	}
-	ch := make(chan any, 1)
-	c.pending[id] = ch
-	return ch, nil
+	w := newReplyWaiter(c.rt.clock)
+	c.pending[id] = w
+	return w, nil
 }
 
 func (c *clientConn) unregister(id uint64) {
@@ -176,11 +232,12 @@ func (rt *Runtime) CallTraced(sc telemetry.SpanContext, ref RemoteRef, method st
 
 // CallTracedTimeout is CallTraced with an explicit deadline.
 func (rt *Runtime) CallTracedTimeout(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
-	start := time.Now()
+	start := rt.clock.Now()
 	results, err := rt.doCall(sc, ref, timeout, method, args)
-	rt.met.latency.ObserveDuration(time.Since(start))
+	rtt := rt.clock.Now().Sub(start)
+	rt.met.latency.ObserveDuration(rtt)
 	if rt.observer != nil {
-		rt.observer(ref.Addr, method, time.Since(start), err)
+		rt.observer(ref.Addr, method, rtt, err)
 	}
 	return results, err
 }
@@ -237,7 +294,7 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 		return finish(nil, err)
 	}
 
-	deadline := time.Now().Add(timeout)
+	deadline := rt.clock.Now().Add(timeout)
 	timeoutErr := func() error {
 		return fmt.Errorf("%w: %s to %q after %v", ErrTimeout, method, ref.Addr, timeout)
 	}
@@ -277,7 +334,7 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 			}
 			return finish(nil, err)
 		}
-		ch, err := conn.register(id)
+		w, err := conn.register(id)
 		if err != nil {
 			// The pooled connection died before its read loop retired it;
 			// the pool has been (or is being) cleaned, so the next attempt
@@ -313,8 +370,10 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 
 		// Wait for the reply: bounded by the per-try budget when the policy
 		// sets one (lost replies are then recovered by re-sending), always
-		// bounded by the overall deadline.
-		wait := time.Until(deadline)
+		// bounded by the overall deadline. Runtime close needs no select
+		// arm: Close shuts every connection down, which delivers
+		// ErrRuntimeClosed to the waiter.
+		wait := deadline.Sub(rt.clock.Now())
 		perTry := false
 		if rt.retry.PerTryTimeout > 0 && rt.retry.PerTryTimeout < wait {
 			wait = rt.retry.PerTryTimeout
@@ -324,38 +383,36 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 			conn.unregister(id)
 			return finish(nil, timeoutErr())
 		}
-		timer := time.NewTimer(wait)
-		select {
-		case msg := <-ch:
-			timer.Stop()
-			switch m := msg.(type) {
-			case *wire.Reply:
-				return finish(m.Results, nil)
-			case *wire.Fault:
-				rt.stats.remoteFaults.Add(1)
-				rt.met.remoteFaults.Inc()
-				return finish(nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message})
-			case error:
-				// The connection failed while we were waiting.
-				lastErr = m
-				if transport.IsTransient(m) {
-					continue
-				}
-				return finish(nil, m)
-			default:
-				return finish(nil, fmt.Errorf("rmi: unexpected response %T", msg))
-			}
-		case <-timer.C:
+		expiry := rt.clock.AfterFunc(wait, w.expire)
+		msg, ok := w.await()
+		expiry.Stop()
+		if !ok {
 			conn.unregister(id)
 			lastErr = timeoutErr()
 			if perTry {
 				continue
 			}
 			return finish(nil, lastErr)
-		case <-rt.closed:
-			timer.Stop()
-			conn.unregister(id)
-			return finish(nil, ErrRuntimeClosed)
+		}
+		switch m := msg.(type) {
+		case *wire.Reply:
+			return finish(m.Results, nil)
+		case *wire.Fault:
+			rt.stats.remoteFaults.Add(1)
+			rt.met.remoteFaults.Inc()
+			return finish(nil, &RemoteError{Code: m.Code, Method: method, Message: m.Message})
+		case error:
+			// The connection failed while we were waiting.
+			lastErr = m
+			if errors.Is(m, ErrRuntimeClosed) {
+				return finish(nil, ErrRuntimeClosed)
+			}
+			if transport.IsTransient(m) {
+				continue
+			}
+			return finish(nil, m)
+		default:
+			return finish(nil, fmt.Errorf("rmi: unexpected response %T", msg))
 		}
 	}
 	return finish(nil, fmt.Errorf("rmi: %s to %q failed after %d attempts: %w",

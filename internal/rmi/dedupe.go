@@ -2,6 +2,8 @@ package rmi
 
 import (
 	"sync"
+
+	"obiwan/internal/netsim"
 )
 
 // The duplicate-suppression table makes retried calls exactly-once from the
@@ -18,11 +20,48 @@ import (
 // long since stopped retrying it.
 const maxDedupePerClient = 4096
 
-// dedupeEntry is one tracked invocation: done closes when the response
-// frame is recorded.
+// dedupeEntry is one tracked invocation. The completion latch is a
+// clock-aware Cond rather than a closed channel: a duplicate arrival that
+// waits for the first execution counts as idle under a virtual clock, so
+// the scheduler can advance time past it (the first execution may need a
+// timer to make progress).
 type dedupeEntry struct {
-	done  chan struct{}
+	mu    sync.Mutex
+	cond  *netsim.Cond
 	frame []byte
+	done  bool
+}
+
+func newDedupeEntry(clock netsim.Clock) *dedupeEntry {
+	e := &dedupeEntry{}
+	e.cond = netsim.NewCond(clock, &e.mu)
+	return e
+}
+
+// complete records the response frame and releases all waiting duplicates.
+func (e *dedupeEntry) complete(frame []byte) {
+	e.mu.Lock()
+	e.frame = frame
+	e.done = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// await blocks until the entry completes and returns the recorded frame.
+func (e *dedupeEntry) await() []byte {
+	e.mu.Lock()
+	for !e.done {
+		e.cond.Wait()
+	}
+	frame := e.frame
+	e.mu.Unlock()
+	return frame
+}
+
+func (e *dedupeEntry) isDone() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.done
 }
 
 // clientLog tracks one client incarnation's calls.
@@ -34,17 +73,18 @@ type clientLog struct {
 // dedupeTable is the server-side suppression table, keyed by client
 // incarnation then call id.
 type dedupeTable struct {
+	clock   netsim.Clock
 	mu      sync.Mutex
 	clients map[string]*clientLog
 }
 
-func newDedupeTable() *dedupeTable {
-	return &dedupeTable{clients: make(map[string]*clientLog)}
+func newDedupeTable(clock netsim.Clock) *dedupeTable {
+	return &dedupeTable{clock: clock, clients: make(map[string]*clientLog)}
 }
 
 // begin registers (client, id) and reports whether it was already present.
-// The caller owns a fresh entry: it must record the response frame and
-// close done. For a duplicate, the caller waits on done and replays frame.
+// The caller owns a fresh entry: it must record the response frame with
+// complete. For a duplicate, the caller awaits and replays the frame.
 func (t *dedupeTable) begin(client string, id uint64) (*dedupeEntry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -56,7 +96,7 @@ func (t *dedupeTable) begin(client string, id uint64) (*dedupeEntry, bool) {
 	if e, ok := cl.entries[id]; ok {
 		return e, true
 	}
-	e := &dedupeEntry{done: make(chan struct{})}
+	e := newDedupeEntry(t.clock)
 	cl.entries[id] = e
 	cl.order = append(cl.order, id)
 	t.evictLocked(cl)
@@ -69,12 +109,10 @@ func (t *dedupeTable) evictLocked(cl *clientLog) {
 	for len(cl.order) > maxDedupePerClient {
 		id := cl.order[0]
 		if e, ok := cl.entries[id]; ok {
-			select {
-			case <-e.done:
-				delete(cl.entries, id)
-			default:
+			if !e.isDone() {
 				return // oldest still executing; try again next insert
 			}
+			delete(cl.entries, id)
 		}
 		cl.order = cl.order[1:]
 	}

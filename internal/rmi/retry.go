@@ -113,18 +113,14 @@ func (rt *Runtime) jittered(d time.Duration) time.Duration {
 
 // sleepBackoff waits the jittered backoff for retry number retry, bounded
 // by the overall deadline. It returns false when the deadline leaves no
-// room for the wait (the call must time out instead of sleeping past it).
+// room for the wait (the call must time out instead of sleeping past it)
+// or the runtime closes mid-wait. The sleep runs on the runtime's clock,
+// so under a virtual clock backoff costs no wall time.
 func (rt *Runtime) sleepBackoff(retry int, deadline time.Time) bool {
 	d := rt.jittered(rt.retry.Backoff(retry))
-	if time.Until(deadline) <= d {
+	now := rt.clock.Now()
+	if deadline.Sub(now) <= d {
 		return false
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return true
-	case <-rt.closed:
-		return false
-	}
+	return rt.clock.SleepUntilCancel(now.Add(d), rt.closed)
 }

@@ -266,7 +266,7 @@ func TestApplicationFaultsNeverRetry(t *testing.T) {
 }
 
 func TestDedupeInFlightWait(t *testing.T) {
-	tbl := newDedupeTable()
+	tbl := newDedupeTable(netsim.Real())
 	e1, dup := tbl.begin("c#1", 7)
 	if dup {
 		t.Fatal("first begin must not be a duplicate")
@@ -275,16 +275,12 @@ func TestDedupeInFlightWait(t *testing.T) {
 	if !dup || e2 != e1 {
 		t.Fatal("second begin must return the in-flight entry")
 	}
-	select {
-	case <-e2.done:
+	if e2.isDone() {
 		t.Fatal("entry must not be done before completion")
-	default:
 	}
-	e1.frame = []byte("reply")
-	close(e1.done)
-	<-e2.done
-	if string(e2.frame) != "reply" {
-		t.Fatalf("duplicate sees frame %q", e2.frame)
+	e1.complete([]byte("reply"))
+	if got := e2.await(); string(got) != "reply" {
+		t.Fatalf("duplicate sees frame %q", got)
 	}
 	// A different client shares nothing.
 	if _, dup := tbl.begin("c#2", 7); dup {
@@ -293,13 +289,13 @@ func TestDedupeInFlightWait(t *testing.T) {
 }
 
 func TestDedupeEviction(t *testing.T) {
-	tbl := newDedupeTable()
+	tbl := newDedupeTable(netsim.Real())
 	for id := uint64(1); id <= maxDedupePerClient+10; id++ {
 		e, dup := tbl.begin("c#1", id)
 		if dup {
 			t.Fatalf("id %d: unexpected duplicate", id)
 		}
-		close(e.done) // completed: eligible for eviction
+		e.complete(nil) // completed: eligible for eviction
 	}
 	if got := tbl.size("c#1"); got != maxDedupePerClient {
 		t.Fatalf("table size %d, want cap %d", got, maxDedupePerClient)
@@ -312,14 +308,14 @@ func TestDedupeEviction(t *testing.T) {
 }
 
 func TestDedupeNeverEvictsInFlight(t *testing.T) {
-	tbl := newDedupeTable()
+	tbl := newDedupeTable(netsim.Real())
 	first, _ := tbl.begin("c#1", 1) // stays in flight
 	for id := uint64(2); id <= maxDedupePerClient+10; id++ {
 		e, _ := tbl.begin("c#1", id)
-		close(e.done)
+		e.complete(nil)
 	}
 	if _, dup := tbl.begin("c#1", 1); !dup {
 		t.Fatal("in-flight entry must survive eviction pressure")
 	}
-	close(first.done)
+	first.complete(nil)
 }

@@ -59,6 +59,7 @@ type options struct {
 	walDir      string
 	tel         *telemetry.Hub
 	noTel       bool
+	incarnation uint64
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -108,6 +109,15 @@ func WithRetry(p rmi.RetryPolicy) Option { return func(o *options) { o.retry = &
 // registrations. Each rebirth runs under a fresh persisted incarnation
 // number, so peers never confuse it with its previous life.
 func WithDurability(dir string) Option { return func(o *options) { o.walDir = dir } }
+
+// WithIncarnation pins the site's RMI client incarnation instead of the
+// process-global counter. Deterministic harnesses (internal/swarm) need
+// this: the incarnation is embedded in every call frame's client identity,
+// so counter values that differ between runs change frame sizes and hence
+// simulated transfer times. Sites whose addresses are already unique per
+// rebirth can pin any constant. Ignored for durable sites, which persist
+// their own incarnation in the WAL.
+func WithIncarnation(n uint64) Option { return func(o *options) { o.incarnation = n } }
 
 // WithTelemetry installs a custom telemetry hub — typically one built with
 // telemetry.WithClock for deterministic traces under netsim. By default a
@@ -211,6 +221,8 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	}
 	if store != nil {
 		rtOpts = append(rtOpts, rmi.WithIncarnation(store.Incarnation()))
+	} else if o.incarnation != 0 {
+		rtOpts = append(rtOpts, rmi.WithIncarnation(o.incarnation))
 	}
 	rt, err := rmi.NewRuntime(network, transport.Addr(name), rtOpts...)
 	if err != nil {

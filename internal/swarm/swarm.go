@@ -1,0 +1,717 @@
+// Package swarm is the thousand-site scenario harness: it spins up one
+// hub site and hundreds to thousands of leaf sites over a seeded
+// in-process topology, drives them with scheduled workloads on a
+// discrete-event virtual clock (netsim.VirtualClock), and checks
+// fleet-wide invariants while aggregating telemetry into per-scenario
+// capacity reports.
+//
+// The harness exists to answer the question the paper's evaluation could
+// not: what does incremental replication do at fleet scale, under churn,
+// flash crowds, roaming links, and rolling partitions? Because the clock
+// is virtual and the simulation serial, sixty simulated seconds across a
+// thousand sites execute in a few wall-clock seconds and replay
+// bit-identically from a seed.
+//
+// Invariants every scenario asserts (see finalChecks):
+//
+//   - exactly-once puts: for every document, the master's apply count is
+//     bounded by the fleet's acked and attempted put counts
+//     (acked ≤ applies ≤ attempted — a duplicate apply or a lost acked
+//     put both break the bounds);
+//   - convergence after reconnect: once all faults heal, a final put from
+//     every surviving leaf lands, and the master's data equals the last
+//     acked write;
+//   - bounded staleness: a refresh after healing brings every leaf's
+//     replica of the shared document to the master's version;
+//   - typed failures only: while disturbed, operations either succeed or
+//     fail with replication.ErrUnavailable — anything else is a bug.
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/site"
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// Doc is the object type swarm scenarios replicate: per-leaf documents
+// (one writer each, mastered at the hub) plus one shared chain every
+// leaf reads.
+type Doc struct {
+	Label string
+	Data  []byte
+	Kids  []*objmodel.Ref
+}
+
+// Name returns the document's label.
+func (d *Doc) Name() string { return d.Label }
+
+func init() {
+	objmodel.MustRegisterType("swarm.Doc", (*Doc)(nil))
+}
+
+// Options parameterizes a scenario. The zero value is not usable; start
+// from Defaults (or fill every field) — scenario constructors apply
+// Defaults for anything left zero.
+type Options struct {
+	Seed  int64
+	Sites int // leaf count (the hub is extra)
+
+	// Profile is the QoS of every hub↔leaf link.
+	Profile netsim.Profile
+	// Duration is the simulated length of the op phase.
+	Duration time.Duration
+	// MeanOpGap is the average virtual time between one leaf's operations
+	// (actual gaps are uniform in [MeanOpGap/2, 3·MeanOpGap/2)).
+	MeanOpGap time.Duration
+	// SharedDepth is the length of the shared chain all leaves read.
+	SharedDepth int
+
+	// KillEvery is the mean gap between churn kills (churn scenario).
+	KillEvery time.Duration
+	// DisturbEvery is the mean gap between roam/partition waves.
+	DisturbEvery time.Duration
+	// DisturbWindow is how long a roam outage or partition wave lasts.
+	DisturbWindow time.Duration
+
+	// Watchdog is the real-time budget: a virtual scenario that deadlocks
+	// burns no virtual time, so only a wall clock can catch it.
+	Watchdog time.Duration
+	// ProfileTopK is how many hot objects the capacity report keeps.
+	ProfileTopK int
+}
+
+// Defaults returns a small, fast baseline configuration for seed.
+func Defaults(seed int64) Options {
+	return Options{
+		Seed:          seed,
+		Sites:         100,
+		Profile:       netsim.LAN10,
+		Duration:      10 * time.Second,
+		MeanOpGap:     2 * time.Second,
+		SharedDepth:   4,
+		KillEvery:     2 * time.Second,
+		DisturbEvery:  time.Second,
+		DisturbWindow: 500 * time.Millisecond,
+		Watchdog:      2 * time.Minute,
+		ProfileTopK:   8,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults(o.Seed)
+	if o.Sites == 0 {
+		o.Sites = d.Sites
+	}
+	if o.Profile.Name == "" {
+		o.Profile = d.Profile
+	}
+	if o.Duration == 0 {
+		o.Duration = d.Duration
+	}
+	if o.MeanOpGap == 0 {
+		o.MeanOpGap = d.MeanOpGap
+	}
+	if o.SharedDepth == 0 {
+		o.SharedDepth = d.SharedDepth
+	}
+	if o.KillEvery == 0 {
+		o.KillEvery = d.KillEvery
+	}
+	if o.DisturbEvery == 0 {
+		o.DisturbEvery = d.DisturbEvery
+	}
+	if o.DisturbWindow == 0 {
+		o.DisturbWindow = d.DisturbWindow
+	}
+	if o.Watchdog == 0 {
+		o.Watchdog = d.Watchdog
+	}
+	if o.ProfileTopK == 0 {
+		o.ProfileTopK = d.ProfileTopK
+	}
+	return o
+}
+
+// retryPolicy is the leaf/hub policy: deterministic (no jitter), with a
+// per-try timeout so a dropped reply is recovered by re-sending rather
+// than by waiting out the whole call budget. Virtual timeouts are free.
+func retryPolicy() rmi.RetryPolicy {
+	return rmi.RetryPolicy{
+		MaxAttempts:   8,
+		BaseBackoff:   10 * time.Millisecond,
+		MaxBackoff:    200 * time.Millisecond,
+		Multiplier:    2,
+		Jitter:        0,
+		PerTryTimeout: 500 * time.Millisecond,
+	}
+}
+
+// OpRecord is one entry of the fleet-wide operation log — the scenario's
+// deterministic event stream. T is virtual time since scenario start.
+type OpRecord struct {
+	T      time.Duration
+	Site   string
+	Op     string // demand, put, refresh, kill, spawn, roam, partition, heal, final
+	Detail string
+	Err    string // "" on success; the typed class otherwise
+}
+
+func (r OpRecord) String() string {
+	s := fmt.Sprintf("%v %s %s", r.T, r.Site, r.Op)
+	if r.Detail != "" {
+		s += " " + r.Detail
+	}
+	if r.Err != "" {
+		s += " err=" + r.Err
+	}
+	return s
+}
+
+// applyLog is the hub's consistency policy: it counts ApplyPut
+// acceptances per object, the server-side half of the exactly-once
+// invariant.
+type applyLog struct {
+	mu      sync.Mutex
+	applies map[objmodel.OID]int
+}
+
+func newApplyLog() *applyLog { return &applyLog{applies: make(map[objmodel.OID]int)} }
+
+func (p *applyLog) ApplyPut(oid objmodel.OID, base, next uint64) error {
+	p.mu.Lock()
+	p.applies[oid]++
+	p.mu.Unlock()
+	return nil
+}
+func (p *applyLog) ReplicaCreated(objmodel.OID, string, uint64) {}
+func (p *applyLog) MasterUpdated(objmodel.OID, uint64)          {}
+
+func (p *applyLog) count(oid objmodel.OID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applies[oid]
+}
+
+// docState is the per-document ledger, shared across a leaf's
+// incarnations: how many puts were attempted and acked for this document
+// fleet-side, and what the last acked payload was.
+type docState struct {
+	id        int
+	oid       objmodel.OID
+	master    *Doc
+	desc      replication.Descriptor
+	attempted int
+	acked     int
+	lastAcked string
+}
+
+// leaf is one live leaf site (one incarnation).
+type leaf struct {
+	id     int
+	gen    int
+	name   string
+	s      *site.Site
+	rng    *rand.Rand
+	mine   *Doc // replica of the leaf's own document, nil until demanded
+	shared *Doc // replica of the shared chain head, nil until demanded
+	killed bool
+}
+
+func (l *leaf) addr() transport.Addr { return transport.Addr(l.name) }
+
+// Swarm is one scenario deployment: hub, leaves, and the bookkeeping the
+// invariants are checked against.
+type Swarm struct {
+	Opts  Options
+	Clock *netsim.VirtualClock
+	Net   *transport.MemNetwork
+	Hub   *site.Site
+
+	applies    *applyLog
+	sharedHead *Doc
+	sharedDesc replication.Descriptor
+
+	mu          sync.Mutex
+	docs        []*docState
+	leaves      []*leaf // current incarnation per id
+	all         []*site.Site
+	log         []OpRecord
+	ops         int
+	unavailable int
+	kills       int
+	spawns      int
+	fatal       error
+
+	wallStart time.Time
+}
+
+func mix(seed int64, id, gen int) int64 {
+	return seed*1_000_003 + int64(id)*31 + int64(gen)
+}
+
+func leafName(id, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("s%04d", id)
+	}
+	return fmt.Sprintf("s%04d.g%d", id, gen)
+}
+
+// Build constructs the deployment: virtual clock, seeded network, the
+// hub with its virtual-clocked telemetry hub, one master document per
+// leaf plus the shared chain, and all leaf sites. Building parks nothing,
+// so it runs untracked; the simulation starts when the scenario body runs
+// under run().
+func Build(o Options) (*Swarm, error) {
+	o = o.withDefaults()
+	clock := netsim.NewVirtualClock()
+	net := transport.NewMemNetworkClock(o.Profile, o.Seed, clock)
+	sw := &Swarm{
+		Opts:      o,
+		Clock:     clock,
+		Net:       net,
+		applies:   newApplyLog(),
+		wallStart: time.Now(),
+	}
+
+	hubTel := telemetry.NewHub("hub", telemetry.WithClock(clock.Now))
+	hub, err := site.New("hub", net,
+		site.WithPolicy(sw.applies),
+		site.WithRetry(retryPolicy()),
+		site.WithIncarnation(1),
+		site.WithTelemetry(hubTel))
+	if err != nil {
+		clock.Stop()
+		return nil, err
+	}
+	sw.Hub = hub
+	sw.all = append(sw.all, hub)
+
+	// The shared chain every leaf reads.
+	chain := make([]*Doc, o.SharedDepth)
+	for i := range chain {
+		chain[i] = &Doc{Label: fmt.Sprintf("shared-%d", i), Data: []byte{byte(i)}}
+		if err := hub.Register(chain[i]); err != nil {
+			sw.abortBuild()
+			return nil, err
+		}
+	}
+	for i := 0; i < len(chain)-1; i++ {
+		ref, err := hub.NewRef(chain[i+1])
+		if err != nil {
+			sw.abortBuild()
+			return nil, err
+		}
+		chain[i].Kids = append(chain[i].Kids, ref)
+	}
+	sw.sharedHead = chain[0]
+	if sw.sharedDesc, err = hub.Export(chain[0]); err != nil {
+		sw.abortBuild()
+		return nil, err
+	}
+
+	// One master document per leaf id, plus the leaf site itself.
+	sw.docs = make([]*docState, o.Sites)
+	sw.leaves = make([]*leaf, o.Sites)
+	for id := 0; id < o.Sites; id++ {
+		doc := &Doc{Label: fmt.Sprintf("doc-%04d", id), Data: []byte("v0")}
+		if err := hub.Register(doc); err != nil {
+			sw.abortBuild()
+			return nil, err
+		}
+		desc, err := hub.Export(doc)
+		if err != nil {
+			sw.abortBuild()
+			return nil, err
+		}
+		en, ok := hub.Heap().EntryOf(doc)
+		if !ok {
+			sw.abortBuild()
+			return nil, fmt.Errorf("swarm: doc %d has no heap entry", id)
+		}
+		sw.docs[id] = &docState{id: id, oid: en.OID, master: doc, desc: desc}
+		if _, err := sw.newLeaf(id, 0); err != nil {
+			sw.abortBuild()
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+// newLeaf creates the site for (id, gen) and installs it as the current
+// incarnation. Callers during the run must hold no swarm lock.
+func (sw *Swarm) newLeaf(id, gen int) (*leaf, error) {
+	name := leafName(id, gen)
+	s, err := site.New(name, sw.Net,
+		site.WithRetry(retryPolicy()),
+		site.WithIncarnation(1), // the address is unique per incarnation already
+		site.WithoutTelemetry())
+	if err != nil {
+		return nil, fmt.Errorf("swarm: leaf %s: %w", name, err)
+	}
+	l := &leaf{
+		id:   id,
+		gen:  gen,
+		name: name,
+		s:    s,
+		rng:  rand.New(rand.NewSource(mix(sw.Opts.Seed, id, gen))),
+	}
+	sw.mu.Lock()
+	sw.leaves[id] = l
+	sw.all = append(sw.all, s)
+	sw.mu.Unlock()
+	return l, nil
+}
+
+func (sw *Swarm) abortBuild() {
+	for i := len(sw.all) - 1; i >= 0; i-- {
+		_ = sw.all[i].Close()
+	}
+	sw.Clock.Stop()
+}
+
+// Close tears the deployment down: sites close as tracked simulated work
+// (draining in-flight events), then the clock stops.
+func (sw *Swarm) Close() {
+	_ = within(sw.Clock, sw.Opts.Watchdog, func() error {
+		sw.mu.Lock()
+		sites := append([]*site.Site(nil), sw.all...)
+		sw.mu.Unlock()
+		for i := len(sites) - 1; i >= 0; i-- {
+			_ = sites[i].Close()
+		}
+		return nil
+	})
+	sw.Clock.Stop()
+}
+
+// record appends to the fleet op log.
+func (sw *Swarm) record(siteName, op, detail string, err error) {
+	rec := OpRecord{
+		T:      sw.Clock.Now().Sub(netsim.VirtualBase),
+		Site:   siteName,
+		Op:     op,
+		Detail: detail,
+	}
+	if err != nil {
+		rec.Err = errClass(err)
+	}
+	sw.mu.Lock()
+	sw.log = append(sw.log, rec)
+	sw.ops++
+	if rec.Err == "unavailable" {
+		sw.unavailable++
+	}
+	sw.mu.Unlock()
+}
+
+// errClass collapses an operation error to its typed class. Anything not
+// listed here is an invariant violation the scenario fails on.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, replication.ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, rmi.ErrRuntimeClosed):
+		return "closed"
+	default:
+		return "fatal:" + err.Error()
+	}
+}
+
+func (sw *Swarm) fail(err error) {
+	sw.mu.Lock()
+	if sw.fatal == nil {
+		sw.fatal = err
+	}
+	sw.mu.Unlock()
+}
+
+func (sw *Swarm) isKilled(l *leaf) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return l.killed
+}
+
+// handleOpErr classifies an operation error: nil and unavailability keep
+// the leaf going, a kill ends its loop quietly, anything else is fatal
+// for the scenario. It reports whether the leaf loop should stop.
+func (sw *Swarm) handleOpErr(l *leaf, op, detail string, err error) bool {
+	if sw.isKilled(l) {
+		return true // whatever the error, this incarnation is dead
+	}
+	sw.record(l.name, op, detail, err)
+	if err == nil || errors.Is(err, replication.ErrUnavailable) {
+		return false
+	}
+	sw.fail(fmt.Errorf("swarm: %s %s: %w", l.name, op, err))
+	return true
+}
+
+func (sw *Swarm) spec() replication.GetSpec {
+	return replication.GetSpec{Mode: replication.Incremental, Batch: 1}
+}
+
+// demand replicates the leaf's own document and the shared head.
+func (sw *Swarm) demand(l *leaf) error {
+	st := sw.docs[l.id]
+	if l.mine == nil {
+		ref := l.s.Engine().RefFromDescriptor(st.desc, sw.spec())
+		mine, err := objmodel.Deref[*Doc](ref)
+		if err != nil {
+			return err
+		}
+		l.mine = mine
+	}
+	if l.shared == nil {
+		ref := l.s.Engine().RefFromDescriptor(sw.sharedDesc, sw.spec())
+		shared, err := objmodel.Deref[*Doc](ref)
+		if err != nil {
+			return err
+		}
+		l.shared = shared
+	}
+	return nil
+}
+
+// putOwn writes the next payload to the leaf's document and syncs it.
+func (sw *Swarm) putOwn(l *leaf, payload string) error {
+	st := sw.docs[l.id]
+	l.mine.Data = []byte(payload)
+	if err := l.s.MarkUpdated(l.mine); err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	st.attempted++
+	sw.mu.Unlock()
+	if err := l.s.Put(l.mine); err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	st.acked++
+	st.lastAcked = payload
+	sw.mu.Unlock()
+	return nil
+}
+
+// leafLoop is one leaf incarnation's scheduled workload: demand first,
+// then a seeded mix of puts and refreshes until the op phase ends, the
+// leaf is killed, or the scenario fails.
+func (sw *Swarm) leafLoop(l *leaf, until time.Time) {
+	seq := 0
+	for {
+		if sw.isKilled(l) || !sw.Clock.Now().Before(until) {
+			return
+		}
+		gap := sw.Opts.MeanOpGap/2 + time.Duration(l.rng.Int63n(int64(sw.Opts.MeanOpGap)))
+		sw.Clock.Sleep(gap)
+		if sw.isKilled(l) || !sw.Clock.Now().Before(until) {
+			return
+		}
+		if l.mine == nil || l.shared == nil {
+			if sw.handleOpErr(l, "demand", "", sw.demand(l)) {
+				return
+			}
+			continue
+		}
+		switch l.rng.Intn(3) {
+		case 0, 1:
+			seq++
+			payload := fmt.Sprintf("%s#%d", l.name, seq)
+			if sw.handleOpErr(l, "put", payload, sw.putOwn(l, payload)) {
+				return
+			}
+		default:
+			if sw.handleOpErr(l, "refresh", "shared", l.s.Refresh(l.shared)) {
+				return
+			}
+		}
+	}
+}
+
+// killLeaf hard-stops the current incarnation of id (crash semantics:
+// nothing is flushed, in-flight calls fail).
+func (sw *Swarm) killLeaf(id int) {
+	sw.mu.Lock()
+	l := sw.leaves[id]
+	if l == nil || l.killed {
+		sw.mu.Unlock()
+		return
+	}
+	l.killed = true
+	sw.kills++
+	sw.mu.Unlock()
+	sw.record(l.name, "kill", "", nil)
+	l.s.Kill()
+}
+
+// spawnLeaf starts the next incarnation of id and its op loop.
+func (sw *Swarm) spawnLeaf(id int, wg *netsim.WaitGroup, until time.Time) error {
+	sw.mu.Lock()
+	gen := sw.leaves[id].gen + 1
+	sw.mu.Unlock()
+	l, err := sw.newLeaf(id, gen)
+	if err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	sw.spawns++
+	sw.mu.Unlock()
+	sw.record(l.name, "spawn", "", nil)
+	wg.Add(1)
+	sw.Clock.Go(func() {
+		defer wg.Done()
+		sw.leafLoop(l, until)
+	})
+	return nil
+}
+
+// finalChecks runs after every disturbance has healed: a final put per
+// surviving leaf, the staleness bound on the shared document, and the
+// exactly-once audit of the apply log.
+func (sw *Swarm) finalChecks() error {
+	// Bump the shared document so convergence is observable: every leaf
+	// must refresh up to this exact version.
+	sw.sharedHead.Data = []byte("final")
+	if err := sw.Hub.MarkUpdated(sw.sharedHead); err != nil {
+		return fmt.Errorf("swarm: bump shared: %w", err)
+	}
+	headEntry, ok := sw.Hub.Heap().EntryOf(sw.sharedHead)
+	if !ok {
+		return errors.New("swarm: shared head has no heap entry")
+	}
+	wantVersion := headEntry.Version()
+
+	for id := range sw.leaves {
+		sw.mu.Lock()
+		l := sw.leaves[id]
+		sw.mu.Unlock()
+		if l.killed {
+			return fmt.Errorf("swarm: leaf id %d has no live incarnation at scenario end", id)
+		}
+		if l.mine == nil || l.shared == nil {
+			if err := sw.demand(l); err != nil {
+				return fmt.Errorf("swarm: %s demand after heal: %w", l.name, err)
+			}
+		}
+		payload := fmt.Sprintf("%s#final", l.name)
+		if err := sw.putOwn(l, payload); err != nil {
+			return fmt.Errorf("swarm: %s final put: %w", l.name, err)
+		}
+		sw.record(l.name, "final", payload, nil)
+		if err := l.s.Refresh(l.shared); err != nil {
+			return fmt.Errorf("swarm: %s final refresh: %w", l.name, err)
+		}
+		en, ok := l.s.Heap().EntryOf(l.shared)
+		if !ok {
+			return fmt.Errorf("swarm: %s shared replica has no heap entry", l.name)
+		}
+		if en.Version() != wantVersion {
+			return fmt.Errorf("swarm: %s shared replica at v%d after refresh, master at v%d (staleness bound broken)",
+				l.name, en.Version(), wantVersion)
+		}
+	}
+
+	// Exactly-once audit + convergence: the master holds the last acked
+	// payload, applied a bounded number of times.
+	for _, st := range sw.docs {
+		applies := sw.applies.count(st.oid)
+		if applies < st.acked || applies > st.attempted {
+			return fmt.Errorf("swarm: doc %04d applied %d times with %d acked / %d attempted puts (exactly-once broken)",
+				st.id, applies, st.acked, st.attempted)
+		}
+		if string(st.master.Data) != st.lastAcked {
+			return fmt.Errorf("swarm: doc %04d master holds %q, last acked write was %q (convergence broken)",
+				st.id, st.master.Data, st.lastAcked)
+		}
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.fatal
+}
+
+// ErrHung marks a scenario that blew its real-time watchdog.
+var ErrHung = errors.New("swarm: scenario hung")
+
+// within runs op as tracked simulated work under a wall-clock watchdog.
+func within(clock *netsim.VirtualClock, d time.Duration, op func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		clock.Run(func() { err = op() })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("%w: no result after %v (%s)", ErrHung, d, clock.Snapshot())
+	}
+}
+
+// run executes a scenario: all leaf loops plus an optional disturber,
+// then healing is assumed done and the invariants are checked. It
+// returns the capacity report and the deterministic event stream.
+func run(name string, o Options, disturb func(sw *Swarm, wg *netsim.WaitGroup, until time.Time)) (*Report, []string, error) {
+	sw, err := Build(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sw.Close()
+
+	err = within(sw.Clock, sw.Opts.Watchdog, func() error {
+		until := sw.Clock.Now().Add(sw.Opts.Duration)
+		wg := netsim.NewWaitGroup(sw.Clock)
+		sw.mu.Lock()
+		starting := append([]*leaf(nil), sw.leaves...)
+		sw.mu.Unlock()
+		for _, l := range starting {
+			l := l
+			wg.Add(1)
+			sw.Clock.Go(func() {
+				defer wg.Done()
+				sw.leafLoop(l, until)
+			})
+		}
+		if disturb != nil {
+			wg.Add(1)
+			sw.Clock.Go(func() {
+				defer wg.Done()
+				disturb(sw, wg, until)
+			})
+		}
+		wg.Wait()
+		return sw.finalChecks()
+	})
+	report := sw.buildReport(name)
+	stream := sw.Stream()
+	return report, stream, err
+}
+
+// Stream returns the scenario's deterministic event stream: the fleet op
+// log followed by the hub's telemetry spans (ids, names, and virtual
+// timestamps are all deterministic under the serial simulation). Two runs
+// from the same seed must produce byte-identical streams.
+func (sw *Swarm) Stream() []string {
+	sw.mu.Lock()
+	out := make([]string, 0, len(sw.log))
+	for _, r := range sw.log {
+		out = append(out, r.String())
+	}
+	sw.mu.Unlock()
+	for _, sp := range sw.Hub.Telemetry().Spans(1 << 20) {
+		out = append(out, fmt.Sprintf("span %d/%d<-%d %s %s %d..%d attrs=%v err=%q",
+			sp.TraceID, sp.SpanID, sp.Parent, sp.Site, sp.Name, sp.StartNS, sp.EndNS, sp.Attrs, sp.Err))
+	}
+	return out
+}

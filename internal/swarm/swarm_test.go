@@ -1,0 +1,189 @@
+package swarm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"obiwan/internal/netsim"
+)
+
+// TestChurnThousandSites is the harness's acceptance bar: 1,000 leaf
+// sites, 60 simulated seconds of scheduled traffic under continuous
+// kill/restart churn, completing in well under 10 s of wall time (the
+// bound holds with -race) with every fleet invariant intact.
+func TestChurnThousandSites(t *testing.T) {
+	o := Defaults(1)
+	o.Sites = 1000
+	o.Duration = 60 * time.Second
+	o.MeanOpGap = 6 * time.Second
+	o.KillEvery = 2 * time.Second
+
+	start := time.Now()
+	report, _, err := Churn(o)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	t.Log(report.Summary())
+	if report.SimSeconds < 60 {
+		t.Fatalf("simulated only %.1fs, want >= 60s", report.SimSeconds)
+	}
+	if wall > 10*time.Second {
+		t.Fatalf("1000-site churn took %v wall, want < 10s", wall)
+	}
+	if report.Kills == 0 || report.Spawns != report.Kills {
+		t.Fatalf("churn kills=%d spawns=%d, want equal and > 0", report.Kills, report.Spawns)
+	}
+	if report.PutsAcked == 0 {
+		t.Fatal("no puts acked — the fleet did no work")
+	}
+}
+
+// TestChurnDeterministic is the determinism regression: a 500-site churn
+// scenario run twice from the same seed yields byte-identical event
+// streams (op log plus hub telemetry spans), and a different seed yields
+// a different stream.
+func TestChurnDeterministic(t *testing.T) {
+	o := Defaults(9)
+	o.Sites = 500
+	o.Duration = 30 * time.Second
+	o.MeanOpGap = 6 * time.Second
+	o.KillEvery = 3 * time.Second
+
+	_, stream1, err := Churn(o)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	_, stream2, err := Churn(o)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if len(stream1) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if len(stream1) != len(stream2) {
+		t.Fatalf("stream lengths diverge: %d vs %d", len(stream1), len(stream2))
+	}
+	for i := range stream1 {
+		if stream1[i] != stream2[i] {
+			t.Fatalf("streams diverge at line %d:\nrun1: %s\nrun2: %s", i, stream1[i], stream2[i])
+		}
+	}
+
+	o2 := o
+	o2.Seed = 10
+	_, stream3, err := Churn(o2)
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if len(stream3) == len(stream1) {
+		same := true
+		for i := range stream1 {
+			if stream1[i] != stream3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical streams — the seed is not reaching the scenario")
+		}
+	}
+}
+
+// TestFlashCrowdCapacityReport: every leaf demands the same hot document
+// at nearly the same instant; the capacity report is written as a JSON
+// artifact and must rank the shared chain as the hottest objects.
+func TestFlashCrowdCapacityReport(t *testing.T) {
+	o := Defaults(5)
+	o.Sites = 300
+	o.Duration = 5 * time.Second
+	o.MeanOpGap = time.Second
+
+	report, _, err := FlashCrowd(o)
+	if err != nil {
+		t.Fatalf("flash crowd: %v", err)
+	}
+	t.Log(report.Summary())
+	if len(report.HotObjects) == 0 {
+		t.Fatal("capacity report has no hot objects")
+	}
+	if report.RMI.CallsServed == 0 || report.Links.Messages == 0 {
+		t.Fatalf("capacity report shows no traffic: %+v", report.RMI)
+	}
+
+	dir := ReportDir(t.TempDir())
+	path := filepath.Join(dir, "flash_crowd.json")
+	if err := report.WriteJSON(path); err != nil {
+		t.Fatalf("write artifact: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("artifact unreadable: %v", err)
+	}
+}
+
+// TestRoamMobileFleet: leaves roam (disconnect, then come back on a
+// degraded wireless link). Outage windows must produce typed
+// unavailability only, and the fleet converges afterwards.
+func TestRoamMobileFleet(t *testing.T) {
+	o := Defaults(7)
+	o.Sites = 120
+	o.Duration = 20 * time.Second
+	o.MeanOpGap = 2 * time.Second
+	o.DisturbEvery = 400 * time.Millisecond
+	o.DisturbWindow = 1500 * time.Millisecond
+
+	report, _, err := Roam(o)
+	if err != nil {
+		t.Fatalf("roam: %v", err)
+	}
+	t.Log(report.Summary())
+	if report.Links.Disconnected == 0 {
+		t.Fatal("no sends were rejected while down — the roam windows never bit")
+	}
+}
+
+// TestRollingPartitions: waves of partitions sweep residue classes of
+// the fleet; the healthy remainder keeps working, and after the last
+// heal everything converges.
+func TestRollingPartitions(t *testing.T) {
+	o := Defaults(11)
+	o.Sites = 200
+	o.Duration = 20 * time.Second
+	o.MeanOpGap = 2 * time.Second
+	o.DisturbEvery = 2 * time.Second
+	o.DisturbWindow = 1200 * time.Millisecond
+
+	report, _, err := RollingPartitions(o)
+	if err != nil {
+		t.Fatalf("rolling partitions: %v", err)
+	}
+	t.Log(report.Summary())
+	if report.Links.Disconnected == 0 && report.Unavailable == 0 {
+		t.Fatal("partitions never bit: no rejected sends and no unavailable ops")
+	}
+}
+
+// TestReportSpeedup sanity-checks the discrete-event dividend on a tiny
+// fleet: simulated time must outrun wall time by a wide margin.
+func TestReportSpeedup(t *testing.T) {
+	o := Defaults(3)
+	o.Sites = 20
+	o.Duration = 2 * time.Minute
+	o.MeanOpGap = 10 * time.Second
+
+	report, _, err := FlashCrowd(o)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	t.Log(report.Summary())
+	if report.Speedup < 10 {
+		t.Fatalf("speedup %.1fx, want at least 10x (2 simulated minutes must not take 12 wall seconds)", report.Speedup)
+	}
+	if report.Events == 0 {
+		t.Fatal("no clock events recorded")
+	}
+	_ = netsim.VirtualBase // keep the import honest if asserts change
+}

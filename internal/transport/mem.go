@@ -3,11 +3,18 @@ package transport
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sync"
 	"time"
 
 	"obiwan/internal/netsim"
 )
+
+// memTrace (env MEMNET_TRACE=1) dumps every link-level send — virtual
+// timestamp, endpoints, size, planned delay — to stderr. Under a virtual
+// clock the dump is deterministic per seed, so diffing two runs' traces
+// pinpoints the first divergent message when debugging nondeterminism.
+var memTrace = os.Getenv("MEMNET_TRACE") != ""
 
 // MemNetwork is an in-process network whose point-to-point links are
 // modelled by netsim. It is the synthetic testbed for every experiment:
@@ -16,6 +23,7 @@ import (
 //
 // MemNetwork is safe for concurrent use.
 type MemNetwork struct {
+	clock     netsim.Clock
 	mu        sync.Mutex
 	defProf   netsim.Profile
 	seed      int64
@@ -38,7 +46,17 @@ func NewMemNetwork(p netsim.Profile) *MemNetwork {
 // created in — two runs of the same scenario with the same seed observe the
 // same drops and jitter per link.
 func NewMemNetworkSeeded(p netsim.Profile, seed int64) *MemNetwork {
+	return NewMemNetworkClock(p, seed, netsim.Real())
+}
+
+// NewMemNetworkClock is NewMemNetworkSeeded on an explicit clock. With a
+// *netsim.VirtualClock the network becomes a discrete-event simulation:
+// simulated delays are scheduled instead of slept, so thousand-site
+// scenarios covering minutes of traffic run in milliseconds, and the RMI
+// layer built on top inherits the clock automatically (see Clock).
+func NewMemNetworkClock(p netsim.Profile, seed int64, clock netsim.Clock) *MemNetwork {
 	return &MemNetwork{
+		clock:     clock,
 		defProf:   p,
 		seed:      seed,
 		listeners: make(map[Addr]*memListener),
@@ -46,6 +64,11 @@ func NewMemNetworkSeeded(p netsim.Profile, seed int64) *MemNetwork {
 		downHosts: make(map[Addr]bool),
 	}
 }
+
+// Clock returns the network's time source (netsim.ClockProvider). Layers
+// above — the RMI runtime in particular — inherit it so their timers and
+// goroutines live on the same timeline as the links.
+func (n *MemNetwork) Clock() netsim.Clock { return n.clock }
 
 // linkSeed derives the deterministic RNG seed for the directional link
 // from→to.
@@ -73,7 +96,7 @@ func (n *MemNetwork) linkLocked(from, to Addr) *netsim.Link {
 	k := linkKey{from, to}
 	l, ok := n.links[k]
 	if !ok {
-		l = netsim.NewLink(n.defProf, n.linkSeed(from, to))
+		l = netsim.NewLinkClock(n.defProf, n.linkSeed(from, to), n.clock)
 		n.links[k] = l
 	}
 	return l
@@ -146,12 +169,8 @@ func (n *MemNetwork) Listen(local Addr) (Listener, error) {
 	if _, exists := n.listeners[local]; exists {
 		return nil, fmt.Errorf("transport: address %q already bound", local)
 	}
-	ln := &memListener{
-		net:     n,
-		addr:    local,
-		pending: make(chan *memConn, 16),
-		done:    make(chan struct{}),
-	}
+	ln := &memListener{net: n, addr: local}
+	ln.cond = netsim.NewCond(n.clock, &ln.mu)
 	n.listeners[local] = ln
 	return ln, nil
 }
@@ -169,8 +188,8 @@ func (n *MemNetwork) Dial(local, remote Addr) (Conn, error) {
 		return nil, netsim.ErrDisconnected
 	}
 
-	c2s := newMsgQueue() // client → server
-	s2c := newMsgQueue() // server → client
+	c2s := newMsgQueue(n.clock) // client → server
+	s2c := newMsgQueue(n.clock) // server → client
 	client := &memConn{
 		net: n, local: local, remote: remote,
 		out: c2s, in: s2c, outLink: n.link(local, remote),
@@ -179,40 +198,69 @@ func (n *MemNetwork) Dial(local, remote Addr) (Conn, error) {
 		net: n, local: remote, remote: local,
 		out: s2c, in: c2s, outLink: n.link(remote, local),
 	}
-	select {
-	case ln.pending <- server:
-		return client, nil
-	case <-ln.done:
-		return nil, fmt.Errorf("%w: listener at %q closed", ErrUnreachable, remote)
+	if err := ln.offer(server); err != nil {
+		return nil, err
 	}
+	return client, nil
 }
 
 var _ Network = (*MemNetwork)(nil)
+var _ netsim.ClockProvider = (*MemNetwork)(nil)
 
 type memListener struct {
-	net     *MemNetwork
-	addr    Addr
-	pending chan *memConn
-	done    chan struct{}
-	once    sync.Once
+	net  *MemNetwork
+	addr Addr
+
+	mu      sync.Mutex
+	cond    *netsim.Cond
+	pending []*memConn
+	closed  bool
+}
+
+// offer hands an inbound connection to the accept loop. The wakeup goes
+// through a clock-aware Cond so a virtual clock never advances past a
+// runnable acceptor.
+func (l *memListener) offer(c *memConn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("%w: listener at %q closed", ErrUnreachable, l.addr)
+	}
+	l.pending = append(l.pending, c)
+	l.cond.Signal()
+	return nil
 }
 
 func (l *memListener) Accept() (Conn, error) {
-	select {
-	case c := <-l.pending:
-		return c, nil
-	case <-l.done:
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.pending) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
 		return nil, ErrClosed
 	}
+	c := l.pending[0]
+	l.pending = l.pending[1:]
+	return c, nil
 }
 
 func (l *memListener) Close() error {
-	l.once.Do(func() {
-		close(l.done)
+	l.mu.Lock()
+	first := !l.closed
+	if first {
+		l.closed = true
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	if first {
 		l.net.mu.Lock()
-		delete(l.net.listeners, l.addr)
+		// Guard the map against a successor listener re-bound at our address.
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
 		l.net.mu.Unlock()
-	})
+	}
 	return nil
 }
 
@@ -225,16 +273,19 @@ type queuedMsg struct {
 }
 
 // msgQueue is an unbounded FIFO with blocking pop and close semantics.
+// Its wakeups go through a clock-aware Cond: under a virtual clock a
+// blocked reader counts as idle, and a push transfers it a busy token
+// before signalling, so quiescence detection stays exact.
 type msgQueue struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
+	cond   *netsim.Cond
 	items  []queuedMsg
 	closed bool
 }
 
-func newMsgQueue() *msgQueue {
+func newMsgQueue(clock netsim.Clock) *msgQueue {
 	q := &msgQueue{}
-	q.cond = sync.NewCond(&q.mu)
+	q.cond = netsim.NewCond(clock, &q.mu)
 	return q
 }
 
@@ -245,7 +296,11 @@ func (q *msgQueue) push(m queuedMsg) error {
 		return ErrClosed
 	}
 	q.items = append(q.items, m)
-	q.cond.Signal()
+	// Wake the reader at the message's delivery time, not at push time:
+	// under a virtual clock that folds the wakeup and the propagation delay
+	// into one event. Links are FIFO (netsim clamps arrival order), so the
+	// new message's due time is never earlier than a queued predecessor's.
+	q.cond.SignalAt(m.due)
 	return nil
 }
 
@@ -292,13 +347,17 @@ func (c *memConn) Send(p []byte) error {
 		return netsim.ErrDisconnected
 	}
 	delay, err := c.outLink.Plan(len(p))
+	if memTrace {
+		fmt.Fprintf(os.Stderr, "TRACE %d %s->%s %dB +%v err=%v\n",
+			c.net.clock.Now().UnixNano(), c.local, c.remote, len(p), delay, err)
+	}
 	if err != nil {
 		return err
 	}
 	// Copy: the caller may reuse its buffer after Send returns.
 	data := make([]byte, len(p))
 	copy(data, p)
-	return c.out.push(queuedMsg{data: data, due: time.Now().Add(delay)})
+	return c.out.push(queuedMsg{data: data, due: c.net.clock.Now().Add(delay)})
 }
 
 func (c *memConn) Recv() ([]byte, error) {
@@ -306,9 +365,15 @@ func (c *memConn) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Realize the simulated propagation delay as wall-clock time with
-	// sub-tick precision (plain time.Sleep overshoots by a timer tick).
-	netsim.SleepUntil(m.due)
+	// Realize the simulated propagation delay on the network's clock: the
+	// real clock sleeps it with sub-tick precision (plain time.Sleep
+	// overshoots by a timer tick); a virtual clock parks the reader on the
+	// event heap and delivers at exactly m.due. When push's timed wake
+	// already carried the reader to the delivery instant (SignalAt), the
+	// delay is fully realized and no second park is needed.
+	if m.due.After(c.net.clock.Now()) {
+		c.net.clock.SleepUntil(m.due)
+	}
 	return m.data, nil
 }
 
