@@ -13,14 +13,18 @@
 //	obiwan-bench -exp ablation-depth      # count- vs depth-bounded clusters
 //	obiwan-bench -exp auto                # RMI/LMI/auto invocation policies
 //	obiwan-bench -exp profile             # hot-object replication profiler report
+//	obiwan-bench -exp failover            # master-group overhead + elect latency
 //	obiwan-bench -exp all                 # everything
 //
 // Flags: -quick (scaled-down parameters), -csv (machine-readable output),
 // -profile lan10|wan|wireless|loopback, -list (list length), -svg DIR
-// (render figures), -flight FILE (write the profile run's flight dump).
+// (render figures), -flight FILE (write the profile run's flight dump),
+// -json FILE (write every collected point as JSON — the checked-in
+// BENCH_failover.json baseline is `-exp failover -json BENCH_failover.json`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, failover, all")
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	profile := flag.String("profile", "lan10", "link profile: lan10, wan, wireless, loopback")
@@ -44,15 +48,16 @@ func main() {
 	step := flag.Int("step", 10, "replication step for fig5curve")
 	svgDir := flag.String("svg", "", "also render each experiment as an SVG figure into this directory")
 	flightFile := flag.String("flight", "", "write the profile experiment's flight-recorder dump to this file")
+	jsonFile := flag.String("json", "", "write every collected point as JSON to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *quick, *csv, *profile, *listLen, *size, *step, *svgDir, *flightFile); err != nil {
+	if err := run(os.Stdout, *exp, *quick, *csv, *profile, *listLen, *size, *step, *svgDir, *flightFile, *jsonFile); err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size, step int, svgDir, flightFile string) error {
+func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size, step int, svgDir, flightFile, jsonFile string) error {
 	cfg := bench.DefaultConfig()
 	if quick {
 		cfg = bench.QuickConfig()
@@ -113,6 +118,8 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 				hotSamples, flightDump = samples, dump
 				return points, err
 			}},
+		{"failover", "3-site master group vs single master: steady-state overhead + elect latency (virtual clock)",
+			func() ([]bench.Point, error) { return bench.RunFailover(cfg) }},
 	}
 
 	selected := runners[:0:0]
@@ -130,6 +137,7 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 
 	fmt.Fprintf(w, "# obiwan-bench profile=%s list=%d quick=%v\n",
 		cfg.Profile.Name, cfg.ListLen, quick)
+	var all []bench.Point
 	for _, r := range selected {
 		fmt.Fprintf(w, "\n## %s — %s\n", r.name, r.desc)
 		start := time.Now()
@@ -137,6 +145,7 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
+		all = append(all, points...)
 		if csv {
 			bench.WriteCSV(w, points)
 		} else {
@@ -169,6 +178,16 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 			}
 		}
 		fmt.Fprintf(w, "(%d points in %v)\n", len(points), time.Since(start).Round(time.Millisecond))
+	}
+	if jsonFile != "" {
+		blob, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonFile, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(json: %s)\n", jsonFile)
 	}
 	if exp == "all" || exp == "table1" {
 		fmt.Fprintln(w, "\n"+strings.TrimSpace(shapeNotes))

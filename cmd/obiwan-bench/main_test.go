@@ -13,7 +13,7 @@ import (
 func fastRun(t *testing.T, exp string, csv bool) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(&buf, exp, true /*quick*/, csv, "loopback", 20, 64, 5, "", ""); err != nil {
+	if err := run(&buf, exp, true /*quick*/, csv, "loopback", 20, 64, 5, "", "", ""); err != nil {
 		t.Fatalf("%s: %v", exp, err)
 	}
 	return buf.String()
@@ -51,10 +51,10 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunRejectsUnknowns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", true, false, "loopback", 0, 64, 5, "", ""); err == nil {
+	if err := run(&buf, "fig99", true, false, "loopback", 0, 64, 5, "", "", ""); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
-	if err := run(&buf, "table1", true, false, "carrier-pigeon", 0, 64, 5, "", ""); err == nil {
+	if err := run(&buf, "table1", true, false, "carrier-pigeon", 0, 64, 5, "", "", ""); err == nil {
 		t.Fatal("unknown profile must fail")
 	}
 }
@@ -62,7 +62,7 @@ func TestRunRejectsUnknowns(t *testing.T) {
 func TestRunRendersSVG(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5v6", true, false, "loopback", 12, 64, 5, dir, ""); err != nil {
+	if err := run(&buf, "fig5v6", true, false, "loopback", 12, 64, 5, dir, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5v6.svg"))
@@ -83,7 +83,7 @@ func TestRunProfileArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	flight := filepath.Join(dir, "flight.txt")
 	var buf bytes.Buffer
-	if err := run(&buf, "profile", true, false, "loopback", 0, 64, 5, dir, flight); err != nil {
+	if err := run(&buf, "profile", true, false, "loopback", 0, 64, 5, dir, flight, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"hot-objects-demands.svg", "hot-objects-bytes.svg"} {

@@ -62,6 +62,13 @@ type Config struct {
 	Invocations []int
 	// TreeDepth is the depth of the ablation tree workload.
 	TreeDepth int
+	// FailoverSeeds are the virtual-clock world seeds for the failover
+	// experiment (one 3-site-group + single-master world pair per seed).
+	FailoverSeeds []int64
+	// FailoverChain and FailoverPuts size the failover steady-state
+	// workload: chain length demanded, head edits synced.
+	FailoverChain int
+	FailoverPuts  int
 }
 
 // DefaultConfig returns the paper-scale parameters on the calibrated
@@ -75,6 +82,10 @@ func DefaultConfig() Config {
 		Fig4Sizes:   []int{16, 1024, 4096, 16 * 1024, 64 * 1024},
 		Invocations: []int{1, 10, 100, 1000, 10000},
 		TreeDepth:   7,
+
+		FailoverSeeds: []int64{11, 12, 13, 14, 15},
+		FailoverChain: 50,
+		FailoverPuts:  30,
 	}
 }
 
@@ -89,6 +100,10 @@ func QuickConfig() Config {
 		Fig4Sizes:   []int{16, 4096},
 		Invocations: []int{1, 10, 100},
 		TreeDepth:   5,
+
+		FailoverSeeds: []int64{11, 12},
+		FailoverChain: 12,
+		FailoverPuts:  6,
 	}
 }
 

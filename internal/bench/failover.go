@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"obiwan/internal/nameserver"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/site"
+	"obiwan/internal/transport"
+)
+
+// The failover experiment prices the robustness of consensus-replicated
+// master groups (DESIGN.md §10): what a 3-site group costs in steady
+// state — demands and puts pay a quorum round on the master side — and
+// what it buys — a bounded elect-to-serving window after the leader is
+// permanently killed. Unlike the two-site figures, these worlds run on
+// the virtual clock, so every number is a deterministic function of the
+// seed: the checked-in BENCH_failover.json baseline is reproducible
+// bit-for-bit, and drift in it is a real cost change, not machine noise.
+
+// failoverRun is one world's measurements.
+type failoverRun struct {
+	demand      time.Duration // client walks the whole chain, one demand per node
+	put         time.Duration // client syncs FailoverPuts head edits
+	elect       time.Duration // leader killed → a survivor holds a serve lease
+	demandCalls uint64        // client RMI calls during the walk
+	demandBytes uint64        // wire bytes, all runtimes, during the walk
+	putCalls    uint64
+	putBytes    uint64
+}
+
+// failoverBound caps every await in the experiment; on the virtual clock
+// it only fires if the group genuinely cannot elect.
+const failoverBound = 30 * time.Second
+
+// failoverObject is the payload size of every chain node.
+const failoverObject = 1024
+
+// RunFailover measures steady-state overhead and failover latency of a
+// 3-site master group against a single master over the same links, one
+// world pair per seed.
+func RunFailover(cfg Config) ([]Point, error) {
+	if len(cfg.FailoverSeeds) == 0 {
+		return nil, fmt.Errorf("bench: no failover seeds configured")
+	}
+	var single, group failoverRun
+	var points []Point
+	for _, seed := range cfg.FailoverSeeds {
+		s, err := runFailoverWorld(cfg, seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d single: %w", seed, err)
+		}
+		g, err := runFailoverWorld(cfg, seed, true)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d group3: %w", seed, err)
+		}
+		accumulate(&single, s)
+		accumulate(&group, g)
+		points = append(points, Point{
+			Experiment: "failover", Series: "elect", Size: 3,
+			X: float64(seed), TotalMS: ms(g.elect),
+		})
+	}
+	n := len(cfg.FailoverSeeds)
+	mean := func(label string, r failoverRun, d time.Duration, ops int, calls, bytes uint64) Point {
+		per := time.Duration(0)
+		if ops > 0 {
+			per = d / time.Duration(n*ops)
+		}
+		return Point{
+			Experiment: "failover", Series: label, Size: failoverObject,
+			X: float64(ops), TotalMS: ms(d) / float64(n), PerOpUS: us(per),
+			RMICalls: calls / uint64(n), BytesSent: bytes / uint64(n),
+		}
+	}
+	points = append(points,
+		mean("demand single", single, single.demand, cfg.FailoverChain, single.demandCalls, single.demandBytes),
+		mean("demand group3", group, group.demand, cfg.FailoverChain, group.demandCalls, group.demandBytes),
+		mean("put single", single, single.put, cfg.FailoverPuts, single.putCalls, single.putBytes),
+		mean("put group3", group, group.put, cfg.FailoverPuts, group.putCalls, group.putBytes),
+	)
+	return points, nil
+}
+
+func accumulate(sum *failoverRun, r failoverRun) {
+	sum.demand += r.demand
+	sum.put += r.put
+	sum.elect += r.elect
+	sum.demandCalls += r.demandCalls
+	sum.demandBytes += r.demandBytes
+	sum.putCalls += r.putCalls
+	sum.putBytes += r.putBytes
+}
+
+// runFailoverWorld builds one virtual-clock world — a 3-member master
+// group when group is true, a lone master otherwise — runs the steady
+// workload, and (group only) kills the leader and times the election.
+func runFailoverWorld(cfg Config, seed int64, group bool) (failoverRun, error) {
+	clock := netsim.NewVirtualClock()
+	net := transport.NewMemNetworkClock(cfg.Profile, seed, clock)
+	var (
+		run   failoverRun
+		sites []*site.Site
+		nsrt  *rmi.Runtime
+		err   error
+	)
+	clock.Run(func() {
+		run, sites, nsrt, err = failoverBody(cfg, seed, group, clock, net)
+	})
+	clock.Run(func() {
+		for i := len(sites) - 1; i >= 0; i-- {
+			_ = sites[i].Close()
+		}
+	})
+	clock.Stop()
+	if nsrt != nil {
+		// After Stop: closing the standalone runtime must not park an
+		// untracked goroutine on the virtual clock.
+		_ = nsrt.Close()
+	}
+	return run, err
+}
+
+func failoverBody(cfg Config, seed int64, group bool, clock netsim.Clock, net *transport.MemNetwork) (failoverRun, []*site.Site, *rmi.Runtime, error) {
+	var run failoverRun
+	nsrt, err := rmi.NewRuntime(net, "ns")
+	if err != nil {
+		return run, nil, nil, err
+	}
+	if _, _, err := nameserver.Serve(nsrt); err != nil {
+		_ = nsrt.Close()
+		return run, nil, nsrt, err
+	}
+	// Deterministic retries (no jitter), enough to ride out a redirect.
+	retry := rmi.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 500 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Multiplier:  2,
+	}
+
+	members := []transport.Addr{"m1"}
+	if group {
+		members = []transport.Addr{"m1", "m2", "m3"}
+	}
+	gcfg := site.GroupConfig{Name: "grp", Members: members, Seed: seed}
+	var sites []*site.Site
+	for _, m := range members {
+		opts := []site.Option{
+			site.WithNameServer("ns"),
+			site.WithIncarnation(1),
+			site.WithRetry(retry),
+		}
+		if group {
+			opts = append(opts, site.WithMasterGroup(gcfg))
+		}
+		s, err := site.New(string(m), net, opts...)
+		if err != nil {
+			return run, sites, nsrt, err
+		}
+		sites = append(sites, s)
+	}
+
+	master := sites[0]
+	if group {
+		if master, err = awaitServing(clock, sites); err != nil {
+			return run, sites, nsrt, err
+		}
+	}
+
+	// Master-side chain: register, link, and agree the links through the
+	// group log (MarkUpdated on a grouped master routes through consensus,
+	// so every member can serve the wired state after a failover).
+	nodes := make([]*Node, cfg.FailoverChain)
+	for i := range nodes {
+		nodes[i] = &Node{Payload: make([]byte, failoverObject)}
+		if err := master.Register(nodes[i]); err != nil {
+			return run, sites, nsrt, err
+		}
+	}
+	for i := 0; i < len(nodes)-1; i++ {
+		ref, err := master.NewRef(nodes[i+1])
+		if err != nil {
+			return run, sites, nsrt, err
+		}
+		nodes[i].Next = ref
+		if err := master.MarkUpdated(nodes[i]); err != nil {
+			return run, sites, nsrt, err
+		}
+	}
+	if err := master.Bind("bench/head", nodes[0]); err != nil {
+		return run, sites, nsrt, err
+	}
+
+	client, err := site.New("client", net,
+		site.WithNameServer("ns"), site.WithIncarnation(1), site.WithRetry(retry))
+	if err != nil {
+		return run, sites, nsrt, err
+	}
+	sites = append(sites, client)
+	ref, err := client.LookupSpec("bench/head", replication.DefaultSpec)
+	if err != nil {
+		return run, sites, nsrt, err
+	}
+
+	calls0, bytes0 := wireCounters(client, sites)
+	start := clock.Now()
+	if err := walkList(ref, cfg.FailoverChain); err != nil {
+		return run, sites, nsrt, err
+	}
+	run.demand = clock.Now().Sub(start)
+	calls1, bytes1 := wireCounters(client, sites)
+	run.demandCalls, run.demandBytes = calls1-calls0, bytes1-bytes0
+
+	head, err := objmodel.Deref[*Node](ref)
+	if err != nil {
+		return run, sites, nsrt, err
+	}
+	payload := make([]byte, failoverObject)
+	start = clock.Now()
+	for i := 0; i < cfg.FailoverPuts; i++ {
+		payload[0] = byte(i)
+		head.SetPayload(payload)
+		if err := client.MarkUpdated(head); err != nil {
+			return run, sites, nsrt, err
+		}
+		if n, err := client.SyncDirty(); err != nil || n != 1 {
+			return run, sites, nsrt, fmt.Errorf("put %d: synced=%d err=%w", i, n, err)
+		}
+	}
+	run.put = clock.Now().Sub(start)
+	calls2, bytes2 := wireCounters(client, sites)
+	run.putCalls, run.putBytes = calls2-calls1, bytes2-bytes1
+
+	if !group {
+		return run, sites, nsrt, nil
+	}
+
+	// Permanent loss of the leader; the window closes when a survivor
+	// holds a live serve lease.
+	killedAt := clock.Now()
+	master.Kill()
+	var survivors []*site.Site
+	for _, s := range sites[:len(members)] {
+		if s != master {
+			survivors = append(survivors, s)
+		}
+	}
+	if _, err := awaitServing(clock, survivors); err != nil {
+		return run, sites, nsrt, err
+	}
+	run.elect = clock.Now().Sub(killedAt)
+
+	// The successor really serves: one more put must land through it.
+	payload[0] = 0xff
+	head.SetPayload(payload)
+	if err := client.MarkUpdated(head); err != nil {
+		return run, sites, nsrt, err
+	}
+	if n, err := client.SyncDirty(); err != nil || n != 1 {
+		return run, sites, nsrt, fmt.Errorf("put after failover: synced=%d err=%w", n, err)
+	}
+	return run, sites, nsrt, nil
+}
+
+// awaitServing polls the members until one holds a live serve lease.
+func awaitServing(clock netsim.Clock, members []*site.Site) (*site.Site, error) {
+	deadline := clock.Now().Add(failoverBound)
+	for {
+		for _, s := range members {
+			if s.Group().CheckServe() == nil {
+				return s, nil
+			}
+		}
+		if !clock.Now().Before(deadline) {
+			return nil, fmt.Errorf("no serving leader among %d members within %v", len(members), failoverBound)
+		}
+		clock.Sleep(2 * time.Millisecond)
+	}
+}
+
+// wireCounters sums the client's outbound call count and every runtime's
+// bytes on the wire (group traffic between members included — that is
+// the overhead being priced).
+func wireCounters(client *site.Site, sites []*site.Site) (calls, bytes uint64) {
+	calls = client.Runtime().Stats().CallsSent
+	for _, s := range sites {
+		bytes += s.Runtime().Stats().BytesSent
+	}
+	return calls, bytes
+}

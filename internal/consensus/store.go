@@ -1,0 +1,302 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/wal"
+)
+
+// The store is the node's persistent acceptor/voter state, layered on the
+// same CRC-framed write-ahead log the rest of the system trusts: the WAL
+// is the persistent store Paxos-style protocols assume and rarely specify.
+// Three record kinds suffice:
+//
+//	meta     — current term and the vote cast in it (one logical cell,
+//	           last-record-wins on replay);
+//	entry    — one log slot {term, index, data}, appended in index order;
+//	truncate — "drop every slot ≥ from", written before a conflicting
+//	           suffix is overwritten.
+//
+// Replay folds the record stream in order. The WAL already truncates torn
+// tails to the last whole frame, so a crash mid-append loses at most the
+// suffix being written — exactly the prefix-consistency a consensus log
+// needs: what survives is a prefix of what was acknowledged, and the vote
+// cell is never newer than the log it was persisted with. Records that
+// cannot fold (an index gap after corruption) end the fold: everything
+// before them is kept, everything after is dropped, which the tail fuzzer
+// in fuzz_test.go asserts.
+
+const (
+	recMeta  = 1
+	recEntry = 2
+	recTrunc = 3
+)
+
+// Entry is one agreed (or proposed) slot of the replicated log. Index is
+// 1-based; Data is the opaque command the state machine applies. A nil
+// Data is a leadership barrier no-op (see Node).
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Data  []byte
+}
+
+func init() {
+	codec.MustRegister("obiwan.consensus.Entry", Entry{})
+}
+
+func encodeMeta(term uint64, votedFor string) []byte {
+	e := codec.NewEncoder(16 + len(votedFor))
+	_ = e.WriteByte(recMeta)
+	e.WriteUvarint(term)
+	e.WriteString(votedFor)
+	return e.Bytes()
+}
+
+func encodeEntry(ent Entry) []byte {
+	e := codec.NewEncoder(24 + len(ent.Data))
+	_ = e.WriteByte(recEntry)
+	e.WriteUvarint(ent.Term)
+	e.WriteUvarint(ent.Index)
+	e.WriteBytes(ent.Data)
+	return e.Bytes()
+}
+
+func encodeTrunc(from uint64) []byte {
+	e := codec.NewEncoder(12)
+	_ = e.WriteByte(recTrunc)
+	e.WriteUvarint(from)
+	return e.Bytes()
+}
+
+// foldRecords replays a record stream into (term, votedFor, log). It is
+// total: undecodable or non-contiguous records end the fold, keeping the
+// consistent prefix — the recovery semantics the fuzzer pins down.
+func foldRecords(records [][]byte) (term uint64, votedFor string, log []Entry) {
+	for _, rec := range records {
+		d := codec.NewDecoder(rec)
+		kind, err := d.ReadByte()
+		if err != nil {
+			return term, votedFor, log
+		}
+		switch kind {
+		case recMeta:
+			t, err := d.ReadUvarint()
+			if err != nil {
+				return term, votedFor, log
+			}
+			v, err := d.ReadString()
+			if err != nil {
+				return term, votedFor, log
+			}
+			term, votedFor = t, v
+		case recEntry:
+			t, err := d.ReadUvarint()
+			if err != nil {
+				return term, votedFor, log
+			}
+			idx, err := d.ReadUvarint()
+			if err != nil {
+				return term, votedFor, log
+			}
+			data, err := d.ReadBytes()
+			if err != nil {
+				return term, votedFor, log
+			}
+			switch {
+			case idx == uint64(len(log))+1:
+				log = append(log, Entry{Term: t, Index: idx, Data: data})
+			case idx >= 1 && idx <= uint64(len(log)):
+				// Overwrite without an explicit truncate record: legal
+				// (the truncate is advisory compression), conflict-wins.
+				log = append(log[:idx-1], Entry{Term: t, Index: idx, Data: data})
+			default:
+				// An index gap: the records between were lost. Nothing
+				// after them can be trusted to be contiguous.
+				return term, votedFor, log
+			}
+		case recTrunc:
+			from, err := d.ReadUvarint()
+			if err != nil {
+				return term, votedFor, log
+			}
+			if from >= 1 && from <= uint64(len(log)) {
+				log = log[:from-1]
+			}
+		default:
+			return term, votedFor, log
+		}
+	}
+	return term, votedFor, log
+}
+
+// Store holds a node's durable state: current term, the vote cast in it,
+// and the log of entries. A nil wal backing (NewMemStore) keeps the same
+// state in memory only — the configuration for sites whose group accepts
+// that a member which loses its disk also loses its vote.
+type Store struct {
+	mu       sync.Mutex
+	w        *wal.Store // nil: memory-only
+	term     uint64
+	votedFor string
+	log      []Entry
+}
+
+// NewMemStore returns a volatile store (no disk backing).
+func NewMemStore() *Store { return &Store{} }
+
+// OpenStore opens (or creates) the durable consensus state under dir,
+// replaying whatever survives in the log. Torn tails were already dropped
+// by the WAL layer; foldRecords drops anything non-contiguous after them.
+func OpenStore(dir string) (*Store, error) {
+	w, recovered, err := wal.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: open store: %w", err)
+	}
+	s := &Store{w: w}
+	s.term, s.votedFor, s.log = foldRecords(recovered.Records())
+	return s, nil
+}
+
+func (s *Store) append(payload []byte) error {
+	if s.w == nil {
+		return nil
+	}
+	return s.w.Append(payload)
+}
+
+// State returns the persisted term and vote.
+func (s *Store) State() (term uint64, votedFor string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term, s.votedFor
+}
+
+// SetState persists a new term/vote pair. It must hit the disk before the
+// vote (or a message implying it) leaves the site: a vote forgotten across
+// a restart is a double vote waiting to happen.
+func (s *Store) SetState(term uint64, votedFor string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(encodeMeta(term, votedFor)); err != nil {
+		return err
+	}
+	s.term, s.votedFor = term, votedFor
+	return nil
+}
+
+// LastIndex returns the index of the newest log slot (0 when empty).
+func (s *Store) LastIndex() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.log))
+}
+
+// TermAt returns the term of the slot at index (0 for index 0 or out of
+// range).
+func (s *Store) TermAt(index uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index < 1 || index > uint64(len(s.log)) {
+		return 0
+	}
+	return s.log[index-1].Term
+}
+
+// EntryAt returns the slot at index.
+func (s *Store) EntryAt(index uint64) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index < 1 || index > uint64(len(s.log)) {
+		return Entry{}, false
+	}
+	return s.log[index-1], true
+}
+
+// Slice returns a copy of the slots from index on, capped at max entries
+// (0: no cap).
+func (s *Store) Slice(from uint64, max int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 1 {
+		from = 1
+	}
+	if from > uint64(len(s.log)) {
+		return nil
+	}
+	out := s.log[from-1:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return append([]Entry(nil), out...)
+}
+
+// Append persists and installs entries; each must extend the log by
+// exactly one slot.
+func (s *Store) Append(entries ...Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ent := range entries {
+		if ent.Index != uint64(len(s.log))+1 {
+			return fmt.Errorf("consensus: append index %d after %d", ent.Index, len(s.log))
+		}
+		if err := s.append(encodeEntry(ent)); err != nil {
+			return err
+		}
+		s.log = append(s.log, ent)
+	}
+	return nil
+}
+
+// TruncateFrom drops every slot at index ≥ from (a conflicting suffix
+// being overwritten by the leader's log).
+func (s *Store) TruncateFrom(from uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 1 || from > uint64(len(s.log)) {
+		return nil
+	}
+	if err := s.append(encodeTrunc(from)); err != nil {
+		return err
+	}
+	s.log = s.log[:from-1]
+	return nil
+}
+
+// Compact rewrites the backing log as one meta record plus the current
+// entries, dropping superseded meta records and truncated suffixes.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	records := make([][]byte, 0, len(s.log)+1)
+	records = append(records, encodeMeta(s.term, s.votedFor))
+	for _, ent := range s.log {
+		records = append(records, encodeEntry(ent))
+	}
+	return s.w.Compact(records)
+}
+
+// Close flushes and closes the backing log (no-op for memory stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	return s.w.Close()
+}
+
+// Abandon releases the backing log without flushing — the crash analogue,
+// used by Site.Kill.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		s.w.Abandon()
+	}
+}

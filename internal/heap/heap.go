@@ -213,6 +213,16 @@ func (h *Heap) mintOID() objmodel.OID {
 	return objmodel.OID(uint64(h.siteID)<<48 | h.nextSeq)
 }
 
+// MintOID allocates a fresh identity without installing an object. The
+// master-group layer uses it: the group leader mints the id, the id is
+// agreed through the replicated log, and every member then installs its
+// copy at it with AddMasterWithOID.
+func (h *Heap) MintOID() objmodel.OID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mintOID()
+}
+
 // AddMaster registers obj as a master object, minting its identity.
 // Registering the same object twice returns the existing entry. The
 // object's type must be registered with objmodel.

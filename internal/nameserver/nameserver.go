@@ -74,18 +74,40 @@ func Serve(rt *rmi.Runtime) (*Server, rmi.RemoteRef, error) {
 // from its WAL re-registers the names it already holds, and refusing it
 // as a duplicate would orphan the binding forever (the dead incarnation
 // can never unbind). Ownership is judged by the provider address — the
-// stable site identity that survives restarts.
+// stable site identity that survives restarts — extended to master
+// groups: any current member of the binding's group (or a binder whose
+// group includes the current provider) counts as the owner, so a newly
+// elected leader can take over names its dead predecessor bound.
 func (s *Server) Bind(name string, d *replication.Descriptor) error {
 	if name == "" || d == nil {
 		return fmt.Errorf("nameserver: empty name or descriptor")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if existing, ok := s.entries[name]; ok && existing.Provider.Addr != d.Provider.Addr {
+	if existing, ok := s.entries[name]; ok && !sameOwner(existing, *d) {
 		return fmt.Errorf("%w: %q", ErrAlreadyBound, name)
 	}
 	s.entries[name] = *d
 	return nil
+}
+
+// sameOwner reports whether a re-bind of existing by d comes from the
+// same owning site or master group.
+func sameOwner(existing, d replication.Descriptor) bool {
+	if existing.Provider.Addr == d.Provider.Addr {
+		return true
+	}
+	for _, m := range existing.Group {
+		if m == d.Provider.Addr {
+			return true
+		}
+	}
+	for _, m := range d.Group {
+		if m == existing.Provider.Addr {
+			return true
+		}
+	}
+	return false
 }
 
 // Rebind registers d under name, replacing any previous binding.

@@ -2,6 +2,7 @@ package nameserver
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"obiwan/internal/heap"
@@ -57,7 +58,10 @@ func TestBindLookupRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if len(got.Group) == 0 {
+		got.Group = nil // wire round-trip decodes absent groups as empty
+	}
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("lookup: %+v want %+v", got, want)
 	}
 }
@@ -99,6 +103,47 @@ func TestBindOwnerCanRebind(t *testing.T) {
 	got, err := c.Lookup("x")
 	if err != nil || got.OID != 9 {
 		t.Fatalf("after owner re-bind: %+v %v", got, err)
+	}
+}
+
+// TestBindGroupMemberCanRebind covers leader failover in a master group:
+// the binding was made by the old leader, and the new leader — a different
+// address, but listed in the binding's Group — takes the name over.
+func TestBindGroupMemberCanRebind(t *testing.T) {
+	_, c := newPair(t)
+	group := []transport.Addr{"g1", "g2", "g3"}
+	first := descAt("g1", 1)
+	first.Group = group
+	if err := c.Bind("x", first); err != nil {
+		t.Fatal(err)
+	}
+	// Another member of the recorded group may re-bind under its own
+	// address...
+	second := descAt("g2", 1)
+	second.Group = group
+	if err := c.Bind("x", second); err != nil {
+		t.Fatalf("group member re-bind: %v", err)
+	}
+	got, err := c.Lookup("x")
+	if err != nil || got.Provider.Addr != "g2" {
+		t.Fatalf("after member re-bind: %+v %v", got, err)
+	}
+	// ...including a member whose own descriptor names the current
+	// provider in ITS group (the symmetric check), even if the existing
+	// binding carried no group list.
+	if err := c.Rebind("x", descAt("g2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	third := descAt("g3", 1)
+	third.Group = group
+	if err := c.Bind("x", third); err != nil {
+		t.Fatalf("symmetric group re-bind: %v", err)
+	}
+	// A site outside the group still may not steal the name.
+	err = c.Bind("x", descAt("intruder", 2))
+	var re *rmi.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("outsider bind must fail remotely, got %v", err)
 	}
 }
 

@@ -200,6 +200,7 @@ type VirtualClock struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	held    int // Hold depth: dispatch is frozen while > 0
 
 	advances uint64 // fired events, for reports and stuck detection
 }
@@ -210,6 +211,33 @@ func NewVirtualClock() *VirtualClock {
 	c.advance = sync.NewCond(&c.mu)
 	go c.schedule()
 	return c
+}
+
+// Hold freezes event dispatch: Go, AfterFunc, and wake events may still
+// be enqueued, but none fire until a matching Release. World builders use
+// this to construct a scenario from an untracked goroutine — sites whose
+// construction spawns tracked goroutines with their own timers (consensus
+// election loops, say) would otherwise start advancing virtual time in a
+// real-time race with the rest of construction, making the scenario
+// body's start time (and thus the entire schedule) nondeterministic.
+// Hold before the first spawn, Release after the body is enqueued.
+func (c *VirtualClock) Hold() {
+	c.mu.Lock()
+	c.held++
+	c.mu.Unlock()
+}
+
+// Release undoes one Hold, resuming dispatch when the last hold clears.
+// Releasing an unheld clock is a no-op.
+func (c *VirtualClock) Release() {
+	c.mu.Lock()
+	if c.held > 0 {
+		c.held--
+		if c.held == 0 && c.busy == 0 {
+			c.advance.Signal()
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Stop shuts the scheduler down. Pending sleepers are woken (their
@@ -478,7 +506,7 @@ func (c *VirtualClock) scheduleWakeAt(sc *sync.Cond, at time.Time) bool {
 // Cond lock, so it must leave those to the scheduler (a waiter arriving
 // while a wake for the same Cond is pending would deadlock otherwise).
 func (c *VirtualClock) tryFireNextLocked(allowLocking bool) bool {
-	if c.stopped || c.busy != 0 {
+	if c.stopped || c.busy != 0 || c.held > 0 {
 		return false
 	}
 	// Drop cancelled timers lazily.
@@ -551,8 +579,8 @@ func (c *VirtualClock) schedule() {
 func (c *VirtualClock) Snapshot() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("vclock: now=%s busy=%d paused=%d events=%d advances=%d stopped=%v",
-		c.now.Sub(VirtualBase), c.busy, c.paused, len(c.events), c.advances, c.stopped)
+	return fmt.Sprintf("vclock: now=%s busy=%d paused=%d events=%d advances=%d stopped=%v held=%d",
+		c.now.Sub(VirtualBase), c.busy, c.paused, len(c.events), c.advances, c.stopped, c.held)
 }
 
 var _ Clock = (*VirtualClock)(nil)

@@ -121,11 +121,13 @@ type Engine struct {
 	mu          sync.Mutex
 	observers   []obsEntry // fan-out observers, in registration order
 	observerSeq int
-	journal     Journal                         // durability hooks (nil: in-memory site)
-	appliedPuts map[objmodel.OID]appliedPut     // exactly-once guard per master
-	proxyIns    map[objmodel.OID]rmi.RemoteRef  // exported proxy-in per object
-	clusters    map[objmodel.OID][]objmodel.OID // cluster root → member OIDs (client side)
-	inCluster   map[objmodel.OID]objmodel.OID   // member → cluster root (client side)
+	journal     Journal                           // durability hooks (nil: in-memory site)
+	gate        MasterGate                        // master-group routing (nil: single-master site)
+	appliedPuts map[objmodel.OID]appliedPut       // exactly-once guard per master
+	proxyIns    map[objmodel.OID]rmi.RemoteRef    // exported proxy-in per object
+	clusters    map[objmodel.OID][]objmodel.OID   // cluster root → member OIDs (client side)
+	inCluster   map[objmodel.OID]objmodel.OID     // member → cluster root (client side)
+	groups      map[objmodel.OID][]transport.Addr // OID → mastering group members (client side)
 }
 
 // NewEngine builds the replication engine for one site.
@@ -244,8 +246,13 @@ func (e *Engine) getCrossover() Crossover {
 	return e.crossover
 }
 
-// RegisterMaster adds obj to this site's heap as a master object.
+// RegisterMaster adds obj to this site's heap as a master object. On a
+// grouped site the registration is agreed through the group log first, so
+// every member installs the object at the same identity.
 func (e *Engine) RegisterMaster(obj any) (*heap.Entry, error) {
+	if g := e.masterGate(); g != nil {
+		return g.RouteRegister(obj)
+	}
 	entry, err := e.heap.AddMaster(obj)
 	if err != nil {
 		return nil, err
@@ -263,13 +270,21 @@ func (e *Engine) RegisterMaster(obj any) (*heap.Entry, error) {
 func (e *Engine) NewRef(target any) (*objmodel.Ref, error) {
 	entry, ok := e.heap.EntryOf(target)
 	if !ok {
-		var err error
-		entry, err = e.heap.AddMaster(target)
-		if err != nil {
-			return nil, err
-		}
-		if err := e.journalMaster(entry); err != nil {
-			return nil, err
+		if g := e.masterGate(); g != nil {
+			var err error
+			entry, err = g.RouteRegister(target)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			entry, err = e.heap.AddMaster(target)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.journalMaster(entry); err != nil {
+				return nil, err
+			}
 		}
 	}
 	r := objmodel.NewLocalRef(target, entry.OID)
@@ -288,10 +303,15 @@ func (e *Engine) NewRef(target any) (*objmodel.Ref, error) {
 // carries the OID and type, which the remote side needs to build its
 // proxy-out.
 func (e *Engine) ExportObject(obj any) (Descriptor, error) {
+	gate := e.masterGate()
 	entry, ok := e.heap.EntryOf(obj)
 	if !ok {
 		var err error
-		entry, err = e.heap.AddMaster(obj)
+		if gate != nil {
+			entry, err = gate.RouteRegister(obj)
+		} else {
+			entry, err = e.heap.AddMaster(obj)
+		}
 		if err != nil {
 			return Descriptor{}, err
 		}
@@ -309,15 +329,23 @@ func (e *Engine) ExportObject(obj any) (Descriptor, error) {
 	if err != nil {
 		return Descriptor{}, err
 	}
-	return Descriptor{Provider: ref, OID: uint64(entry.OID), TypeName: entry.TypeName}, nil
+	d := Descriptor{Provider: ref, OID: uint64(entry.OID), TypeName: entry.TypeName}
+	if gate != nil && entry.Role == heap.Master {
+		d.Group = gate.Members()
+	}
+	return d, nil
 }
 
 // Descriptor identifies a remotely reachable object: the proxy-in to demand
-// it from plus its identity. This is what name servers store.
+// it from plus its identity. This is what name servers store. Group, when
+// non-empty, lists the member addresses of the master group serving the
+// object — every member exports the proxy-in at the same object id, so a
+// client fails over by swapping only Provider.Addr.
 type Descriptor struct {
 	Provider rmi.RemoteRef
 	OID      uint64
 	TypeName string
+	Group    []transport.Addr
 }
 
 func init() {
@@ -328,6 +356,7 @@ func init() {
 // of band (typically a name server). Invoking it raises an object fault;
 // spec controls how much each fault replicates.
 func (e *Engine) RefFromDescriptor(d Descriptor, spec GetSpec) *objmodel.Ref {
+	e.recordGroup(objmodel.OID(d.OID), d.Group)
 	pout := e.newProxyOut(objmodel.OID(d.OID), d.Provider, spec.normalize())
 	r := objmodel.NewFaultingRef(objmodel.OID(d.OID), pout, pout)
 	e.observeRef(r)
@@ -422,6 +451,9 @@ func (e *Engine) assemble(sc telemetry.SpanContext, root *heap.Entry, spec GetSp
 		Objects:   make([]ObjectRecord, 0, len(entries)),
 		Clustered: spec.Clustered,
 		Spec:      spec,
+	}
+	if g := e.masterGate(); g != nil && root.Role == heap.Master {
+		p.Group = g.Members()
 	}
 	if spec.Clustered {
 		ref, err := e.exportProxyIn(root)
@@ -615,6 +647,24 @@ func (e *Engine) materialize(sc telemetry.SpanContext, p *Payload) (root any, er
 		}
 	}
 
+	// Remember group routes: every shipped object is mastered by the
+	// sending group, and so is every frontier target the group itself
+	// serves (its provider address is a member).
+	if len(p.Group) > 0 {
+		member := make(map[transport.Addr]bool, len(p.Group))
+		for _, m := range p.Group {
+			member[m] = true
+		}
+		for _, rec := range p.Objects {
+			e.recordGroup(objmodel.OID(rec.OID), p.Group)
+		}
+		for _, fr := range p.Frontier {
+			if member[fr.Provider.Addr] {
+				e.recordGroup(objmodel.OID(fr.OID), p.Group)
+			}
+		}
+	}
+
 	rootEntry, ok := e.heap.Get(objmodel.OID(p.RootOID))
 	if !ok {
 		return nil, fmt.Errorf("replication: payload root %d missing after materialization", p.RootOID)
@@ -718,13 +768,16 @@ func (e *Engine) PutTraced(sc telemetry.SpanContext, obj any) (err error) {
 	if err != nil {
 		return err
 	}
-	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Put", req)
+	res, winner, err := e.callFailover(span.Context(), entry.OID, prov, BulkTimeout, true, "Put", req)
 	if err != nil {
 		return fmt.Errorf("replication: put %v: %w", entry.OID, e.failUnavailable("put", entry.OID, span.Context(), err))
 	}
 	reply, ok := res[0].(*PutReply)
 	if !ok {
 		return fmt.Errorf("replication: put %v: unexpected reply %T", entry.OID, res[0])
+	}
+	if winner != prov {
+		entry.SetProvider(winner, 0) // re-pin to the answering leader
 	}
 	entry.SetVersion(reply.NewVersion)
 	entry.SetDirty(false)
@@ -779,7 +832,7 @@ func (e *Engine) PutClusterTraced(sc telemetry.SpanContext, obj any) (err error)
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
-	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "PutCluster", creq)
+	res, winner, err := e.callFailover(span.Context(), root, prov, BulkTimeout, true, "PutCluster", creq)
 	if err != nil {
 		return fmt.Errorf("replication: put cluster %v: %w", root, e.failUnavailable("put.cluster", root, span.Context(), err))
 	}
@@ -789,6 +842,9 @@ func (e *Engine) PutClusterTraced(sc telemetry.SpanContext, obj any) (err error)
 	}
 	for i, m := range members {
 		if me, ok := e.heap.Get(m); ok {
+			if winner != prov {
+				me.SetProvider(winner, root) // re-pin to the answering leader
+			}
 			var nv uint64
 			if v, ok := versions[i].(uint64); ok {
 				me.SetVersion(v)
@@ -914,7 +970,7 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 		spec = GetSpec{Mode: Incremental, Batch: len(e.clusters[entry.ClusterRoot()]), Clustered: true}
 		e.mu.Unlock()
 	}
-	res, err := e.rt.CallTracedTimeout(span.Context(), prov, BulkTimeout, "Get", &spec, string(e.rt.Addr()))
+	res, _, err := e.callFailover(span.Context(), entry.OID, prov, BulkTimeout, true, "Get", &spec, string(e.rt.Addr()))
 	if err != nil {
 		return fmt.Errorf("replication: refresh %v: %w", entry.OID, e.failUnavailable("refresh", entry.OID, span.Context(), err))
 	}
@@ -941,6 +997,17 @@ func (e *Engine) MarkUpdated(obj any) error {
 		return heap.ErrUnknownObject
 	}
 	if entry.Role == heap.Master {
+		if g := e.masterGate(); g != nil {
+			// Agree the update through the group log so every member's
+			// copy (state and version) moves together; the hook fires
+			// here, at the proposing member, once.
+			v, err := g.RouteBump(entry)
+			if err != nil {
+				return err
+			}
+			e.getPolicy().MasterUpdated(entry.OID, v)
+			return nil
+		}
 		v := entry.BumpVersion()
 		if err := e.journalMaster(entry); err != nil {
 			return err

@@ -3,6 +3,7 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"obiwan/internal/rmi"
 	"obiwan/internal/transport"
@@ -32,4 +33,64 @@ func wrapUnavailable(err error) error {
 		return fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 	return err
+}
+
+// ErrNotLeader marks an operation that reached a master-group member
+// which is not (or no longer) the group's leader. Unlike ErrUnavailable
+// it guarantees the operation did NOT execute — the member refused before
+// touching state — so callers may re-route freely. Test with
+// errors.Is(err, replication.ErrNotLeader); the redirect hint, when the
+// follower knows one, is recoverable with NotLeaderHint even after the
+// error crossed an RMI boundary.
+var ErrNotLeader = errors.New("replication: not the group leader")
+
+// notLeaderMarker is the wire-surviving prefix a NotLeaderError renders
+// to. RMI app faults flatten errors to strings, so the hint rides inside
+// the message text and NotLeaderHint parses it back out.
+const notLeaderMarker = "replication: not the group leader; hint="
+
+// NotLeaderError is the typed redirect a master-group follower answers
+// demands and puts with. Hint is the member the follower believes leads
+// (empty when an election is in progress).
+type NotLeaderError struct {
+	Hint transport.Addr
+}
+
+func (e *NotLeaderError) Error() string {
+	return notLeaderMarker + string(e.Hint)
+}
+
+// Is makes errors.Is(err, ErrNotLeader) match the typed redirect.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// NotLeaderHint extracts the leader hint from a not-leader failure, local
+// or remote. ok reports whether err is a not-leader failure at all; the
+// returned hint may still be empty (no leader known).
+func NotLeaderHint(err error) (hint transport.Addr, ok bool) {
+	var nl *NotLeaderError
+	if errors.As(err, &nl) {
+		return nl.Hint, true
+	}
+	var re *rmi.RemoteError
+	if errors.As(err, &re) && re.IsApp() {
+		if i := strings.Index(re.Message, notLeaderMarker); i >= 0 {
+			rest := re.Message[i+len(notLeaderMarker):]
+			// The marker ends the wrapped chain's message, but be robust
+			// to suffixes appended by intermediate wrapping.
+			if j := strings.IndexAny(rest, " \n:"); j >= 0 {
+				rest = rest[:j]
+			}
+			return transport.Addr(rest), true
+		}
+	}
+	return "", false
+}
+
+// isNotLeader reports whether err is a not-leader failure in any form.
+func isNotLeader(err error) bool {
+	if errors.Is(err, ErrNotLeader) {
+		return true
+	}
+	_, ok := NotLeaderHint(err)
+	return ok
 }

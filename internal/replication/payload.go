@@ -24,6 +24,7 @@ package replication
 import (
 	"obiwan/internal/codec"
 	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
 )
 
 // Mode selects how much of the reachability graph one Get ships.
@@ -124,6 +125,11 @@ type Payload struct {
 	// Spec echoes the demand so frontier ProxyOuts inherit it: a walk keeps
 	// replicating "the next N objects" on every fault.
 	Spec GetSpec
+	// Group, when non-empty, lists the member addresses of the master
+	// group that assembled this payload. Every member exports the same
+	// proxy-in object ids, so the receiver can fail any provider in this
+	// payload over to another member by swapping the address alone.
+	Group []transport.Addr
 }
 
 // PutRequest ships a replica's state back to its master (method put of the

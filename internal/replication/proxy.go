@@ -27,6 +27,9 @@ type ProxyIn struct {
 // injects the serve span's context there (zero when the call was
 // untraced), which parents the assembly under the demanding site's fault.
 func (p *ProxyIn) Get(sc telemetry.SpanContext, spec *GetSpec, requester string) (*Payload, error) {
+	if err := p.eng.gateServe(p.entry); err != nil {
+		return nil, err
+	}
 	if spec == nil {
 		s := DefaultSpec
 		spec = &s
@@ -47,6 +50,9 @@ func (p *ProxyIn) Put(sc telemetry.SpanContext, req *PutRequest) (*PutReply, err
 	if objmodel.OID(req.OID) != p.entry.OID {
 		return nil, fmt.Errorf("proxy-in %v: put addressed to %d", p.entry.OID, req.OID)
 	}
+	if g := p.eng.masterGate(); g != nil && p.entry.Role == heap.Master {
+		return g.RoutePut(sc, req)
+	}
 	return p.eng.applyPut(sc, req)
 }
 
@@ -58,9 +64,17 @@ func (p *ProxyIn) PutCluster(sc telemetry.SpanContext, req *ClusterPutRequest) (
 	if req == nil || len(req.Members) == 0 {
 		return nil, fmt.Errorf("proxy-in %v: empty cluster put", p.entry.OID)
 	}
+	gate := p.eng.masterGate()
+	gated := gate != nil && p.entry.Role == heap.Master
 	versions := make([]any, 0, len(req.Members))
 	for i := range req.Members {
-		reply, err := p.eng.applyPut(sc, &req.Members[i])
+		var reply *PutReply
+		var err error
+		if gated {
+			reply, err = gate.RoutePut(sc, &req.Members[i])
+		} else {
+			reply, err = p.eng.applyPut(sc, &req.Members[i])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cluster member %d (oid %v): %w", i, objmodel.OID(req.Members[i].OID), err)
 		}
@@ -71,8 +85,12 @@ func (p *ProxyIn) PutCluster(sc telemetry.SpanContext, req *ClusterPutRequest) (
 
 // Invoke runs a method on the master object — the RMI invocation mode. The
 // mutation state of the master is the application's concern, exactly as in
-// the paper.
+// the paper. On a grouped site only the leaseholder serves invokes: a
+// follower's copy may trail the agreed log.
 func (p *ProxyIn) Invoke(method string, args []any) ([]any, error) {
+	if err := p.eng.gateServe(p.entry); err != nil {
+		return nil, err
+	}
 	return invoke.Call(p.entry.Obj, method, args)
 }
 
@@ -147,7 +165,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 			return entry.Obj, p.remoteForEntry(entry), nil
 		}
 	}
-	res, err := p.eng.rt.CallTracedTimeout(span.Context(), p.provider, BulkTimeout, "Get", &spec, string(p.eng.rt.Addr()))
+	res, winner, err := p.eng.callFailover(span.Context(), p.oid, p.provider, BulkTimeout, true, "Get", &spec, string(p.eng.rt.Addr()))
 	if err != nil {
 		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, p.eng.failUnavailable("demand", p.oid, span.Context(), err))
 	}
@@ -163,7 +181,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 		Kind: EventFaultResolved, OID: p.oid, Objects: len(payload.Objects),
 		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: time.Since(start),
 	})
-	return root, &remoteInvoker{eng: p.eng, provider: p.provider, oid: p.oid}, nil
+	return root, &remoteInvoker{eng: p.eng, provider: winner, oid: p.oid}, nil
 }
 
 // remoteForEntry builds the master-directed invoker for an entry, if it has
@@ -176,9 +194,11 @@ func (p *ProxyOut) remoteForEntry(e *heap.Entry) objmodel.RemoteInvoker {
 }
 
 // RemoteInvoke implements objmodel.RemoteInvoker: it calls the master
-// through the proxy-in without replicating.
+// through the proxy-in without replicating. Leader redirects are followed
+// (a not-leader refusal guarantees the invoke did not run), but transient
+// failures are NOT re-routed: an invoke is not idempotent.
 func (p *ProxyOut) RemoteInvoke(method string, args []any) ([]any, error) {
-	res, err := p.eng.rt.Call(p.provider, "Invoke", method, args)
+	res, _, err := p.eng.callFailover(telemetry.SpanContext{}, p.oid, p.provider, p.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
 	if err != nil {
 		return nil, p.eng.failUnavailable("invoke", p.oid, telemetry.SpanContext{}, err)
 	}
@@ -214,7 +234,7 @@ type remoteInvoker struct {
 var _ objmodel.RemoteInvoker = (*remoteInvoker)(nil)
 
 func (ri *remoteInvoker) RemoteInvoke(method string, args []any) ([]any, error) {
-	res, err := ri.eng.rt.Call(ri.provider, "Invoke", method, args)
+	res, _, err := ri.eng.callFailover(telemetry.SpanContext{}, ri.oid, ri.provider, ri.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
 	if err != nil {
 		return nil, ri.eng.failUnavailable("invoke", ri.oid, telemetry.SpanContext{}, err)
 	}

@@ -217,6 +217,11 @@ func (rt *Runtime) Call(ref RemoteRef, method string, args ...any) ([]any, error
 	return rt.CallTracedTimeout(telemetry.SpanContext{}, ref, rt.callTimeout, method, args...)
 }
 
+// DefaultCallTimeout returns the runtime's default per-call deadline —
+// what Call and CallTraced use. Callers composing retry/failover loops on
+// top of explicit-deadline calls use it to keep interactive semantics.
+func (rt *Runtime) DefaultCallTimeout() time.Duration { return rt.callTimeout }
+
 // CallTimeout is Call with an explicit deadline for this invocation.
 func (rt *Runtime) CallTimeout(ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
 	return rt.CallTracedTimeout(telemetry.SpanContext{}, ref, timeout, method, args...)

@@ -60,6 +60,7 @@ type options struct {
 	tel         *telemetry.Hub
 	noTel       bool
 	incarnation uint64
+	group       *GroupConfig
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -160,6 +161,7 @@ type Site struct {
 	}
 
 	durable *durability // nil for in-memory sites
+	group   *Group      // nil for single-master sites
 
 	mu         sync.Mutex
 	basePolicy replication.Policy
@@ -182,7 +184,14 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		opt(o)
 	}
 	if o.siteID == 0 {
-		o.siteID = hashSiteID(name)
+		if o.group != nil {
+			// Group members share one OID prefix: any member may mint
+			// identities (whoever leads), and every member must accept
+			// them as its own in AddMasterWithOID replay.
+			o.siteID = hashSiteID("group:" + o.group.groupName())
+		} else {
+			o.siteID = hashSiteID(name)
+		}
 	}
 	hub := o.tel
 	if hub == nil && !o.noTel {
@@ -195,10 +204,13 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	// Durable sites open their WAL before anything else: the persisted
 	// incarnation number must flow into the RMI client identity, and the
 	// directory is pinned to the site id so a WAL can never replay into a
-	// heap that would mint foreign OIDs.
+	// heap that would mint foreign OIDs. Grouped sites skip the site
+	// journal entirely — the consensus log (opened under the same dir by
+	// newGroup) subsumes master durability, and replaying both would
+	// double-apply.
 	var store *wal.Store
 	var recovered *wal.Recovered
-	if o.walDir != "" {
+	if o.walDir != "" && o.group == nil {
 		var err error
 		store, recovered, err = wal.Open(o.walDir)
 		if err != nil {
@@ -310,6 +322,16 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 
 	if o.nsAddr != "" {
 		s.ns = nameserver.NewClient(rt, nameserver.WellKnownRef(o.nsAddr))
+	}
+
+	if o.group != nil {
+		g, err := newGroup(s, o)
+		if err != nil {
+			_ = rt.Close()
+			return nil, err
+		}
+		s.group = g
+		s.engine.SetMasterGate(g)
 	}
 
 	if store != nil {
@@ -461,6 +483,10 @@ func (s *Site) Telemetry() *telemetry.Hub { return s.tel }
 // StaleSet exposes the invalidation ledger.
 func (s *Site) StaleSet() *consistency.StaleSet { return s.stale }
 
+// Group returns the site's master-group handle, or nil for single-master
+// sites.
+func (s *Site) Group() *Group { return s.group }
+
 // Incarnation returns the persisted incarnation number of a durable site
 // (1 for its first life), or 0 for in-memory sites.
 func (s *Site) Incarnation() uint64 {
@@ -484,7 +510,16 @@ func (s *Site) Close() error {
 			// snapshot would, so a failed final compaction loses nothing.
 			_ = s.durable.compactNow()
 		}
-		s.closeErr = s.rt.Close()
+		if s.group != nil {
+			// The node goes first: it stops proposing and closes the
+			// consensus store before the RMI runtime its RPCs ride on.
+			if err := s.group.close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if err := s.rt.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
 		if s.durable != nil {
 			if err := s.durable.store.Close(); err != nil && s.closeErr == nil {
 				s.closeErr = err
@@ -505,6 +540,9 @@ func (s *Site) Kill() {
 		}
 		if s.durable != nil {
 			s.durable.stop()
+		}
+		if s.group != nil {
+			s.group.abandon()
 		}
 		s.closeErr = s.rt.Close()
 		if s.durable != nil {
@@ -539,6 +577,11 @@ func (s *Site) Bind(name string, obj any) error {
 	d, err := s.Export(obj)
 	if err != nil {
 		return err
+	}
+	if s.group != nil {
+		// Grouped sites agree the binding through the log first, so any
+		// future leader can republish it if this member is lost.
+		return s.group.Bind(name, d)
 	}
 	if err := s.ns.Rebind(name, d); err != nil {
 		return err

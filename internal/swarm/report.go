@@ -56,6 +56,13 @@ type Report struct {
 	PutsAcked   int `json:"puts_acked"`
 	PutsTried   int `json:"puts_tried"`
 
+	// HubGroup is the hub master-group size (0 = classic single hub), and
+	// FailoverMS the simulated milliseconds from killing the group's
+	// leader to a successor holding a serve lease (0 when nothing was
+	// killed).
+	HubGroup   int     `json:"hub_group,omitempty"`
+	FailoverMS float64 `json:"failover_ms,omitempty"`
+
 	RMI   RMITotals  `json:"rmi"`
 	Links LinkTotals `json:"links"`
 
@@ -82,6 +89,10 @@ func (sw *Swarm) buildReport(scenario string) *Report {
 		Kills:       sw.kills,
 		Spawns:      sw.spawns,
 	}
+	if sw.groupMode() {
+		r.HubGroup = len(sw.hubs)
+		r.FailoverMS = float64(sw.failover) / float64(time.Millisecond)
+	}
 	sites := append([]*site.Site(nil), sw.all...)
 	for _, st := range sw.docs {
 		r.PutsAcked += st.acked
@@ -106,16 +117,18 @@ func (sw *Swarm) buildReport(scenario string) *Report {
 		r.RMI.BytesSent += ss.BytesSent
 		r.RMI.BytesReceived += ss.BytesReceived
 	}
-	hubAddr := sw.Hub.Addr()
-	for _, s := range sites[1:] { // every leaf incarnation, dead ones included
-		for _, dir := range []struct{ from, to transport.Addr }{
-			{hubAddr, s.Addr()}, {s.Addr(), hubAddr},
-		} {
-			ls := sw.Net.LinkStats(dir.from, dir.to)
-			r.Links.Messages += ls.Messages
-			r.Links.Bytes += ls.Bytes
-			r.Links.Dropped += ls.Dropped
-			r.Links.Disconnected += ls.Disconnected
+	for _, s := range sites[len(sw.hubs):] { // every leaf incarnation, dead ones included
+		for _, hub := range sw.hubs {
+			hubAddr := hub.Addr()
+			for _, dir := range []struct{ from, to transport.Addr }{
+				{hubAddr, s.Addr()}, {s.Addr(), hubAddr},
+			} {
+				ls := sw.Net.LinkStats(dir.from, dir.to)
+				r.Links.Messages += ls.Messages
+				r.Links.Bytes += ls.Bytes
+				r.Links.Dropped += ls.Dropped
+				r.Links.Disconnected += ls.Disconnected
+			}
 		}
 	}
 	if snap := sw.Hub.Telemetry().ProfileSnapshot(sw.Opts.ProfileTopK); snap != nil {

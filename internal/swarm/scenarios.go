@@ -1,6 +1,7 @@
 package swarm
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -101,6 +102,43 @@ func RollingPartitions(o Options) (*Report, []string, error) {
 				sw.record(l.name, "heal", "", nil)
 			}
 		}
+	})
+}
+
+// LeaderFailover runs the fleet against a consensus-replicated hub group
+// (HubGroup members, default 3) and permanently kills the group's leader
+// partway through the op phase. The surviving majority elects a successor,
+// leaf demands and puts fail over transparently (the dead member is never
+// reborn), and every fleet invariant — exactly-once puts by agreed
+// version, convergence, bounded staleness — must hold at the end. The
+// report carries the measured failover latency.
+func LeaderFailover(o Options) (*Report, []string, error) {
+	o = o.withDefaults()
+	if o.HubGroup < 2 {
+		o.HubGroup = 3
+	}
+	return run("leader-failover", o, func(sw *Swarm, wg *netsim.WaitGroup, until time.Time) {
+		sw.Clock.Sleep(o.DisturbEvery)
+		if !sw.Clock.Now().Before(until) {
+			return
+		}
+		leader, err := sw.awaitHubLeader()
+		if err != nil {
+			sw.fail(err)
+			return
+		}
+		sw.killHub(leader)
+		t0 := sw.Clock.Now()
+		next, err := sw.awaitHubLeader()
+		if err != nil {
+			sw.fail(err)
+			return
+		}
+		d := sw.Clock.Now().Sub(t0)
+		sw.mu.Lock()
+		sw.failover = d
+		sw.mu.Unlock()
+		sw.record(next.Name(), "elect", fmt.Sprintf("after=%v", d), nil)
 	})
 }
 

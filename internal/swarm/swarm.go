@@ -88,6 +88,13 @@ type Options struct {
 	Watchdog time.Duration
 	// ProfileTopK is how many hot objects the capacity report keeps.
 	ProfileTopK int
+
+	// HubGroup, when >= 2, replaces the single hub with a consensus-
+	// replicated master group of that many members (hub0, hub1, ...).
+	// Every master lives on every member; the leader serves, followers
+	// redirect, and the fleet survives the permanent loss of a minority.
+	// 0 or 1 keeps the classic single hub.
+	HubGroup int
 }
 
 // Defaults returns a small, fast baseline configuration for seed.
@@ -208,7 +215,6 @@ func (p *applyLog) count(oid objmodel.OID) int {
 type docState struct {
 	id        int
 	oid       objmodel.OID
-	master    *Doc
 	desc      replication.Descriptor
 	attempted int
 	acked     int
@@ -235,13 +241,15 @@ type Swarm struct {
 	Opts  Options
 	Clock *netsim.VirtualClock
 	Net   *transport.MemNetwork
-	Hub   *site.Site
+	Hub   *site.Site   // single hub, or the first group member
+	hubs  []*site.Site // every hub member (len 1 without a group)
 
 	applies    *applyLog
-	sharedHead *Doc
+	sharedOID  objmodel.OID
 	sharedDesc replication.Descriptor
 
 	mu          sync.Mutex
+	hubDead     []bool // parallel to hubs
 	docs        []*docState
 	leaves      []*leaf // current incarnation per id
 	all         []*site.Site
@@ -250,10 +258,14 @@ type Swarm struct {
 	unavailable int
 	kills       int
 	spawns      int
+	failover    time.Duration // virtual time to re-elect after a hub kill
 	fatal       error
 
 	wallStart time.Time
 }
+
+// groupMode reports whether the hub is a replicated master group.
+func (sw *Swarm) groupMode() bool { return len(sw.hubs) > 1 }
 
 func mix(seed int64, id, gen int) int64 {
 	return seed*1_000_003 + int64(id)*31 + int64(gen)
@@ -274,6 +286,11 @@ func leafName(id, gen int) string {
 func Build(o Options) (*Swarm, error) {
 	o = o.withDefaults()
 	clock := netsim.NewVirtualClock()
+	// Dispatch stays frozen until run() enqueues the scenario body: group
+	// hub members spawn consensus timer loops at construction, and letting
+	// those advance virtual time while Build is still running untracked
+	// would race the body's start time. run()/within() release the hold.
+	clock.Hold()
 	net := transport.NewMemNetworkClock(o.Profile, o.Seed, clock)
 	sw := &Swarm{
 		Opts:      o,
@@ -283,68 +300,169 @@ func Build(o Options) (*Swarm, error) {
 		wallStart: time.Now(),
 	}
 
-	hubTel := telemetry.NewHub("hub", telemetry.WithClock(clock.Now))
-	hub, err := site.New("hub", net,
-		site.WithPolicy(sw.applies),
-		site.WithRetry(retryPolicy()),
-		site.WithIncarnation(1),
-		site.WithTelemetry(hubTel))
-	if err != nil {
-		clock.Stop()
-		return nil, err
-	}
-	sw.Hub = hub
-	sw.all = append(sw.all, hub)
-
-	// The shared chain every leaf reads.
-	chain := make([]*Doc, o.SharedDepth)
-	for i := range chain {
-		chain[i] = &Doc{Label: fmt.Sprintf("shared-%d", i), Data: []byte{byte(i)}}
-		if err := hub.Register(chain[i]); err != nil {
-			sw.abortBuild()
-			return nil, err
+	hubNames := []string{"hub"}
+	if o.HubGroup >= 2 {
+		hubNames = make([]string, o.HubGroup)
+		for i := range hubNames {
+			hubNames[i] = fmt.Sprintf("hub%d", i)
 		}
 	}
-	for i := 0; i < len(chain)-1; i++ {
-		ref, err := hub.NewRef(chain[i+1])
+	members := make([]transport.Addr, len(hubNames))
+	for i, n := range hubNames {
+		members[i] = transport.Addr(n)
+	}
+	for _, name := range hubNames {
+		opts := []site.Option{
+			site.WithPolicy(sw.applies),
+			site.WithRetry(retryPolicy()),
+			site.WithIncarnation(1),
+			site.WithTelemetry(telemetry.NewHub(name, telemetry.WithClock(clock.Now))),
+		}
+		if len(hubNames) > 1 {
+			opts = append(opts, site.WithMasterGroup(site.GroupConfig{
+				Name:            "hub",
+				Members:         members,
+				ElectionTimeout: 100 * time.Millisecond,
+				Seed:            o.Seed,
+			}))
+		}
+		hub, err := site.New(name, net, opts...)
 		if err != nil {
 			sw.abortBuild()
 			return nil, err
 		}
-		chain[i].Kids = append(chain[i].Kids, ref)
+		sw.hubs = append(sw.hubs, hub)
+		sw.all = append(sw.all, hub)
 	}
-	sw.sharedHead = chain[0]
-	if sw.sharedDesc, err = hub.Export(chain[0]); err != nil {
-		sw.abortBuild()
-		return nil, err
-	}
+	sw.Hub = sw.hubs[0]
+	sw.hubDead = make([]bool, len(sw.hubs))
 
-	// One master document per leaf id, plus the leaf site itself.
+	// Leaf sites and the per-document ledgers. Master registration happens
+	// in bootstrap(), inside the tracked simulation — a hub group cannot
+	// register anything before its first election, and elections need the
+	// clock running.
 	sw.docs = make([]*docState, o.Sites)
 	sw.leaves = make([]*leaf, o.Sites)
 	for id := 0; id < o.Sites; id++ {
-		doc := &Doc{Label: fmt.Sprintf("doc-%04d", id), Data: []byte("v0")}
-		if err := hub.Register(doc); err != nil {
-			sw.abortBuild()
-			return nil, err
-		}
-		desc, err := hub.Export(doc)
-		if err != nil {
-			sw.abortBuild()
-			return nil, err
-		}
-		en, ok := hub.Heap().EntryOf(doc)
-		if !ok {
-			sw.abortBuild()
-			return nil, fmt.Errorf("swarm: doc %d has no heap entry", id)
-		}
-		sw.docs[id] = &docState{id: id, oid: en.OID, master: doc, desc: desc}
+		sw.docs[id] = &docState{id: id}
 		if _, err := sw.newLeaf(id, 0); err != nil {
 			sw.abortBuild()
 			return nil, err
 		}
 	}
 	return sw, nil
+}
+
+// liveHubs returns the hub members not yet killed.
+func (sw *Swarm) liveHubs() []*site.Site {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	var out []*site.Site
+	for i, h := range sw.hubs {
+		if !sw.hubDead[i] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// awaitHubLeader returns the hub site currently allowed to serve masters:
+// the single hub, or the group member holding a live lease (polled
+// locally, no RPC). It parks on the clock, so call it only inside the
+// tracked simulation.
+func (sw *Swarm) awaitHubLeader() (*site.Site, error) {
+	if !sw.groupMode() {
+		return sw.Hub, nil
+	}
+	deadline := sw.Clock.Now().Add(30 * time.Second)
+	for {
+		for _, h := range sw.liveHubs() {
+			if h.Group().CheckServe() == nil {
+				return h, nil
+			}
+		}
+		if !sw.Clock.Now().Before(deadline) {
+			return nil, errors.New("swarm: no serving hub leader within 30s")
+		}
+		sw.Clock.Sleep(5 * time.Millisecond)
+	}
+}
+
+// killHub permanently crash-stops one hub member (no rebirth — this is
+// how a scenario proves the group survives losing a site for good).
+func (sw *Swarm) killHub(h *site.Site) {
+	sw.mu.Lock()
+	for i, hh := range sw.hubs {
+		if hh == h {
+			sw.hubDead[i] = true
+		}
+	}
+	sw.kills++
+	sw.mu.Unlock()
+	sw.record(h.Name(), "kill", "hub", nil)
+	h.Kill()
+}
+
+// bootstrap registers the shared chain and every per-leaf document at the
+// hub (group mode: at the elected leader, with the wiring replicated to
+// every member). Runs as tracked simulated work before the leaf loops.
+func (sw *Swarm) bootstrap() error {
+	leader, err := sw.awaitHubLeader()
+	if err != nil {
+		return err
+	}
+	o := sw.Opts
+
+	chain := make([]*Doc, o.SharedDepth)
+	for i := range chain {
+		chain[i] = &Doc{Label: fmt.Sprintf("shared-%d", i), Data: []byte{byte(i)}}
+		if err := leader.Register(chain[i]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(chain)-1; i++ {
+		ref, err := leader.NewRef(chain[i+1])
+		if err != nil {
+			return err
+		}
+		chain[i].Kids = append(chain[i].Kids, ref)
+	}
+	if sw.groupMode() {
+		// The Kids wiring exists only in the registering member's instance;
+		// agree the wired state through the log so every member serves the
+		// same chain after failover.
+		for i := 0; i < len(chain)-1; i++ {
+			if err := leader.MarkUpdated(chain[i]); err != nil {
+				return err
+			}
+		}
+	}
+	en, ok := leader.Heap().EntryOf(chain[0])
+	if !ok {
+		return errors.New("swarm: shared head has no heap entry")
+	}
+	sw.sharedOID = en.OID
+	if sw.sharedDesc, err = leader.Export(chain[0]); err != nil {
+		return err
+	}
+
+	for id := 0; id < o.Sites; id++ {
+		doc := &Doc{Label: fmt.Sprintf("doc-%04d", id), Data: []byte("v0")}
+		if err := leader.Register(doc); err != nil {
+			return err
+		}
+		desc, err := leader.Export(doc)
+		if err != nil {
+			return err
+		}
+		den, ok := leader.Heap().EntryOf(doc)
+		if !ok {
+			return fmt.Errorf("swarm: doc %d has no heap entry", id)
+		}
+		sw.docs[id].oid = den.OID
+		sw.docs[id].desc = desc
+	}
+	return nil
 }
 
 // newLeaf creates the site for (id, gen) and installs it as the current
@@ -422,11 +540,23 @@ func errClass(err error) string {
 		return ""
 	case errors.Is(err, replication.ErrUnavailable):
 		return "unavailable"
+	case isNotLeader(err):
+		return "notleader"
 	case errors.Is(err, rmi.ErrRuntimeClosed):
 		return "closed"
 	default:
 		return "fatal:" + err.Error()
 	}
+}
+
+// isNotLeader recognizes the typed redirect a master-group follower
+// answers with, local or flattened across the RMI boundary.
+func isNotLeader(err error) bool {
+	if errors.Is(err, replication.ErrNotLeader) {
+		return true
+	}
+	_, ok := replication.NotLeaderHint(err)
+	return ok
 }
 
 func (sw *Swarm) fail(err error) {
@@ -451,7 +581,7 @@ func (sw *Swarm) handleOpErr(l *leaf, op, detail string, err error) bool {
 		return true // whatever the error, this incarnation is dead
 	}
 	sw.record(l.name, op, detail, err)
-	if err == nil || errors.Is(err, replication.ErrUnavailable) {
+	if err == nil || errors.Is(err, replication.ErrUnavailable) || isNotLeader(err) {
 		return false
 	}
 	sw.fail(fmt.Errorf("swarm: %s %s: %w", l.name, op, err))
@@ -580,15 +710,22 @@ func (sw *Swarm) spawnLeaf(id int, wg *netsim.WaitGroup, until time.Time) error 
 // surviving leaf, the staleness bound on the shared document, and the
 // exactly-once audit of the apply log.
 func (sw *Swarm) finalChecks() error {
+	// All reads and bumps go through whichever hub member currently
+	// serves — after a hub kill that is the elected successor.
+	leader, err := sw.awaitHubLeader()
+	if err != nil {
+		return err
+	}
 	// Bump the shared document so convergence is observable: every leaf
 	// must refresh up to this exact version.
-	sw.sharedHead.Data = []byte("final")
-	if err := sw.Hub.MarkUpdated(sw.sharedHead); err != nil {
-		return fmt.Errorf("swarm: bump shared: %w", err)
-	}
-	headEntry, ok := sw.Hub.Heap().EntryOf(sw.sharedHead)
+	headEntry, ok := leader.Heap().Get(sw.sharedOID)
 	if !ok {
 		return errors.New("swarm: shared head has no heap entry")
+	}
+	sharedHead := headEntry.Obj.(*Doc)
+	sharedHead.Data = []byte("final")
+	if err := leader.MarkUpdated(sharedHead); err != nil {
+		return fmt.Errorf("swarm: bump shared: %w", err)
 	}
 	wantVersion := headEntry.Version()
 
@@ -626,13 +763,30 @@ func (sw *Swarm) finalChecks() error {
 	// payload, applied a bounded number of times.
 	for _, st := range sw.docs {
 		applies := sw.applies.count(st.oid)
-		if applies < st.acked || applies > st.attempted {
+		men, ok := leader.Heap().Get(st.oid)
+		if !ok {
+			return fmt.Errorf("swarm: doc %04d has no master entry at the serving hub", st.id)
+		}
+		if sw.groupMode() {
+			// Admission (the policy hook) can legitimately run more than
+			// once per client put when a leader dies between admitting and
+			// committing, so the group-mode audit is on agreed STATE: every
+			// distinct put bumps the replicated version exactly once.
+			v := men.Version()
+			if v < 1+uint64(st.acked) || v > 1+uint64(st.attempted) {
+				return fmt.Errorf("swarm: doc %04d at agreed v%d with %d acked / %d attempted puts (exactly-once broken)",
+					st.id, v, st.acked, st.attempted)
+			}
+			if applies < st.acked {
+				return fmt.Errorf("swarm: doc %04d admitted %d puts but %d were acked", st.id, applies, st.acked)
+			}
+		} else if applies < st.acked || applies > st.attempted {
 			return fmt.Errorf("swarm: doc %04d applied %d times with %d acked / %d attempted puts (exactly-once broken)",
 				st.id, applies, st.acked, st.attempted)
 		}
-		if string(st.master.Data) != st.lastAcked {
+		if got := string(men.Obj.(*Doc).Data); got != st.lastAcked {
 			return fmt.Errorf("swarm: doc %04d master holds %q, last acked write was %q (convergence broken)",
-				st.id, st.master.Data, st.lastAcked)
+				st.id, got, st.lastAcked)
 		}
 	}
 	sw.mu.Lock()
@@ -644,13 +798,13 @@ func (sw *Swarm) finalChecks() error {
 var ErrHung = errors.New("swarm: scenario hung")
 
 // within runs op as tracked simulated work under a wall-clock watchdog.
+// The body is enqueued before the clock's construction hold is released,
+// so it always starts at virtual time zero with a deterministic event
+// order relative to goroutines spawned during Build.
 func within(clock *netsim.VirtualClock, d time.Duration, op func() error) error {
 	done := make(chan error, 1)
-	go func() {
-		var err error
-		clock.Run(func() { err = op() })
-		done <- err
-	}()
+	clock.Go(func() { done <- op() })
+	clock.Release()
 	select {
 	case err := <-done:
 		return err
@@ -670,6 +824,9 @@ func run(name string, o Options, disturb func(sw *Swarm, wg *netsim.WaitGroup, u
 	defer sw.Close()
 
 	err = within(sw.Clock, sw.Opts.Watchdog, func() error {
+		if err := sw.bootstrap(); err != nil {
+			return err
+		}
 		until := sw.Clock.Now().Add(sw.Opts.Duration)
 		wg := netsim.NewWaitGroup(sw.Clock)
 		sw.mu.Lock()

@@ -166,6 +166,81 @@ func TestRollingPartitions(t *testing.T) {
 	}
 }
 
+// TestLeaderFailoverFleet: the fleet runs against a 3-member hub master
+// group whose leader is permanently killed mid-run. The survivors elect a
+// successor within a bounded window, leaf traffic fails over
+// transparently, and every invariant (exactly-once by agreed version,
+// convergence, staleness bound) holds. The capacity report — with the
+// measured failover latency — is written as a JSON artifact.
+func TestLeaderFailoverFleet(t *testing.T) {
+	o := Defaults(13)
+	o.Sites = 120
+	o.Duration = 12 * time.Second
+	o.MeanOpGap = 2 * time.Second
+	o.DisturbEvery = 3 * time.Second
+
+	report, _, err := LeaderFailover(o)
+	if err != nil {
+		t.Fatalf("leader failover: %v", err)
+	}
+	t.Log(report.Summary())
+	if report.HubGroup != 3 {
+		t.Fatalf("hub group size %d, want 3", report.HubGroup)
+	}
+	if report.Kills != 1 {
+		t.Fatalf("kills=%d, want exactly the hub leader", report.Kills)
+	}
+	if report.FailoverMS <= 0 || report.FailoverMS > 2000 {
+		t.Fatalf("failover latency %.1fms, want bounded in (0, 2000]", report.FailoverMS)
+	}
+	if report.PutsAcked == 0 {
+		t.Fatal("no puts acked across the failover")
+	}
+
+	dir := ReportDir(t.TempDir())
+	path := filepath.Join(dir, "leader_failover.json")
+	if err := report.WriteJSON(path); err != nil {
+		t.Fatalf("write artifact: %v", err)
+	}
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("artifact unreadable: %v", err)
+	}
+}
+
+// TestLeaderFailoverDeterministic: the failover scenario replays
+// bit-identically from a seed — election timing, the kill, and every op
+// record included.
+func TestLeaderFailoverDeterministic(t *testing.T) {
+	o := Defaults(17)
+	o.Sites = 60
+	o.Duration = 10 * time.Second
+	o.MeanOpGap = 2 * time.Second
+	o.DisturbEvery = 3 * time.Second
+
+	r1, stream1, err := LeaderFailover(o)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, stream2, err := LeaderFailover(o)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if len(stream1) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if len(stream1) != len(stream2) {
+		t.Fatalf("stream lengths diverge: %d vs %d", len(stream1), len(stream2))
+	}
+	for i := range stream1 {
+		if stream1[i] != stream2[i] {
+			t.Fatalf("streams diverge at line %d:\nrun1: %s\nrun2: %s", i, stream1[i], stream2[i])
+		}
+	}
+	if r1.FailoverMS != r2.FailoverMS {
+		t.Fatalf("failover latency diverged: %.3fms vs %.3fms", r1.FailoverMS, r2.FailoverMS)
+	}
+}
+
 // TestReportSpeedup sanity-checks the discrete-event dividend on a tiny
 // fleet: simulated time must outrun wall time by a wide margin.
 func TestReportSpeedup(t *testing.T) {

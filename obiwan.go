@@ -247,6 +247,34 @@ var (
 // replicas and SyncDirty after reconnection.
 var ErrUnavailable = replication.ErrUnavailable
 
+// Master groups: consensus-replicated master state across a small static
+// set of sites, surviving permanent loss of any minority with transparent
+// leader failover (DESIGN.md §10).
+type (
+	// GroupConfig configures a site's master-group membership (install
+	// with WithMasterGroup; identical on every member).
+	GroupConfig = site.GroupConfig
+	// MasterGroup is a grouped site's handle on its group: leadership
+	// queries, WaitLeader/WaitServing, and the consensus node.
+	MasterGroup = site.Group
+	// NotLeaderError is the typed redirect a group follower answers
+	// demands and puts with; Hint names the member to retry against.
+	// The replication layer follows it automatically — applications see
+	// it only when every member is unreachable.
+	NotLeaderError = replication.NotLeaderError
+)
+
+// WithMasterGroup makes the site a member of a consensus-replicated
+// master group.
+var WithMasterGroup = site.WithMasterGroup
+
+// ErrNotLeader matches (errors.Is) any NotLeaderError.
+var ErrNotLeader = replication.ErrNotLeader
+
+// NotLeaderHint extracts the redirect hint from an error, local or
+// carried across RMI.
+var NotLeaderHint = replication.NotLeaderHint
+
 // Consistency policies (install with WithPolicy).
 type (
 	// LastWriterWins accepts every update (the paper's default).
