@@ -149,6 +149,49 @@ func (p *Invalidation) Forget(oid objmodel.OID, site string) {
 	delete(p.holders[oid], site)
 }
 
+// ErrTentative is returned when a raw state put targets an object managed
+// by the weakly-connected update log: its state is `committed prefix +
+// tentative suffix` and may be rolled back and replayed at any sync, so
+// overwriting it wholesale would silently discard logged updates. Mutate
+// such objects through update functions (eventual.Store.Append /
+// Txn.Apply) instead.
+var ErrTentative = errors.New("consistency: object is tentatively replicated; use update functions")
+
+// Tentative guards log-managed objects: puts against them are rejected
+// with ErrTentative, everything else falls through to Base. Wire Managed
+// to eventual.Store.Managed.
+type Tentative struct {
+	// Base decides put acceptance for unmanaged objects; defaults to
+	// LastWriterWins.
+	Base interface {
+		ApplyPut(objmodel.OID, uint64, uint64) error
+	}
+	// Managed reports whether oid is enrolled in the update log.
+	Managed func(objmodel.OID) bool
+}
+
+// NewTentative builds the policy over managed.
+func NewTentative(managed func(objmodel.OID) bool) *Tentative {
+	return &Tentative{Base: LastWriterWins{}, Managed: managed}
+}
+
+// ApplyPut rejects puts to managed objects; unmanaged ones go to Base.
+func (p *Tentative) ApplyPut(oid objmodel.OID, cur, base uint64) error {
+	if p.Managed != nil && p.Managed(oid) {
+		return fmt.Errorf("%w: object %v", ErrTentative, oid)
+	}
+	if p.Base == nil {
+		return nil
+	}
+	return p.Base.ApplyPut(oid, cur, base)
+}
+
+// ReplicaCreated is a no-op.
+func (p *Tentative) ReplicaCreated(objmodel.OID, string, uint64) {}
+
+// MasterUpdated is a no-op.
+func (p *Tentative) MasterUpdated(objmodel.OID, uint64) {}
+
 // StaleSet is the client-side staleness ledger fed by invalidations. A
 // site's invalidation sink marks entries; the application (or the site's
 // auto-refresh) queries and clears them.

@@ -157,3 +157,24 @@ func TestLease(t *testing.T) {
 		t.Fatal("zero ttl disables expiry")
 	}
 }
+
+func TestTentativeRejectsManagedFallsThroughOtherwise(t *testing.T) {
+	p := NewTentative(func(oid objmodel.OID) bool { return oid == 7 })
+	if err := p.ApplyPut(7, 3, 3); !errors.Is(err, ErrTentative) {
+		t.Fatalf("managed put: %v, want ErrTentative", err)
+	}
+	if err := p.ApplyPut(8, 3, 3); err != nil {
+		t.Fatalf("unmanaged put through default base: %v", err)
+	}
+	p.Base = FirstWriterWins{}
+	if err := p.ApplyPut(8, 6, 5); !errors.Is(err, ErrConflict) {
+		t.Fatalf("unmanaged put must reach the wrapped base: %v", err)
+	}
+	// Nil Managed (and nil Base) degrade to accept-everything.
+	p = &Tentative{}
+	if err := p.ApplyPut(7, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.ReplicaCreated(7, "s1", 1)
+	p.MasterUpdated(7, 2)
+}

@@ -18,6 +18,8 @@
 package dissemination
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"obiwan/internal/codec"
@@ -28,6 +30,30 @@ import (
 func init() {
 	codec.MustRegister("obiwan.dissem.Update", Update{})
 }
+
+// ErrTooFarBehind matches (via errors.Is) a Pull whose since-sequence
+// predates the retained log window: the updates needed to catch up in
+// order no longer exist, so the subscriber must full-state resync —
+// refresh its replicas and resume pulling from the publisher's current
+// Frontier — instead of pulling the gap.
+var ErrTooFarBehind = errors.New("dissemination: requested sequence older than retained log")
+
+// TooFarBehindError is the typed form of ErrTooFarBehind, carrying the
+// boundary the caller needs to resynchronize.
+type TooFarBehindError struct {
+	// Since is the sequence the subscriber asked to pull after.
+	Since uint64
+	// Oldest is the oldest sequence still retained; everything in
+	// (Since, Oldest) has been truncated.
+	Oldest uint64
+}
+
+func (e *TooFarBehindError) Error() string {
+	return fmt.Sprintf("dissemination: pull since seq %d, but log retains only seq >= %d: %v", e.Since, e.Oldest, ErrTooFarBehind)
+}
+
+// Is makes errors.Is(err, ErrTooFarBehind) match.
+func (e *TooFarBehindError) Is(target error) bool { return target == ErrTooFarBehind }
 
 // Update is one disseminated state change.
 type Update struct {
@@ -72,6 +98,9 @@ type Publisher struct {
 	subs    map[string]*subscriber
 	// maxLog bounds the retained log; 0 keeps everything.
 	maxLog int
+	// floorSeq is the highest truncated sequence: the log retains exactly
+	// the updates with Seq > floorSeq.
+	floorSeq uint64
 }
 
 type subscriber struct {
@@ -97,13 +126,39 @@ type noCheck struct{}
 
 func (noCheck) ApplyPut(objmodel.OID, uint64, uint64) error { return nil }
 
-// SetMaxLog bounds the retained update log to n entries (oldest dropped).
-// Sites that fall further behind than the retained window must refresh
-// their replicas instead of pulling.
+// SetMaxLog bounds the retained update log to n entries (oldest dropped,
+// immediately and on every future append). Sites that fall further behind
+// than the retained window get ErrTooFarBehind from Pull and must
+// full-state resync instead.
 func (p *Publisher) SetMaxLog(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.maxLog = n
+	p.truncateLocked()
+}
+
+// truncateLocked enforces maxLog, advancing floorSeq past every dropped
+// update. Caller holds p.mu.
+func (p *Publisher) truncateLocked() {
+	if p.maxLog <= 0 || len(p.log) <= p.maxLog {
+		return
+	}
+	cut := len(p.log) - p.maxLog
+	if s := p.log[cut-1].Seq; s > p.floorSeq {
+		p.floorSeq = s
+	}
+	p.log = p.log[cut:]
+}
+
+// Frontier returns the publisher's current sequence frontier: the Seq of
+// the newest logged update. A resyncing subscriber reads the frontier,
+// refreshes its replicas, then resumes pulling with Pull(frontier) — any
+// update sequenced after the frontier is covered by the pull, anything
+// before it by the refresh.
+func (p *Publisher) Frontier() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nextSeq
 }
 
 // Subscribe registers a site for pushes of every future update.
@@ -172,9 +227,7 @@ func (p *Publisher) MasterUpdated(oid objmodel.OID, version uint64) {
 		Frontier: frontier,
 	}
 	p.log = append(p.log, u)
-	if p.maxLog > 0 && len(p.log) > p.maxLog {
-		p.log = p.log[len(p.log)-p.maxLog:]
-	}
+	p.truncateLocked()
 	subs := make([]*subscriber, 0, len(p.subs))
 	for _, s := range p.subs {
 		subs = append(subs, s)
@@ -250,17 +303,23 @@ func (p *Publisher) Lag(site string) int {
 }
 
 // Pull returns the logged updates with Seq > since, in order — the pull
-// path for reconnecting sites.
-func (p *Publisher) Pull(since uint64) []Update {
+// path for reconnecting sites. If since predates the retained window
+// (truncated by SetMaxLog), Pull returns a *TooFarBehindError (matching
+// ErrTooFarBehind): the in-order gap is unrecoverable and the subscriber
+// must full-state resync (see Frontier).
+func (p *Publisher) Pull(since uint64) ([]Update, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if since < p.floorSeq {
+		return nil, &TooFarBehindError{Since: since, Oldest: p.floorSeq + 1}
+	}
 	var out []Update
 	for i := range p.log {
 		if p.log[i].Seq > since {
 			out = append(out, p.log[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Applier is the subscriber-side half: it applies disseminated updates to

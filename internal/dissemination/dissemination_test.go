@@ -168,7 +168,10 @@ func TestPullPath(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	updates := f.pub.Pull(f.app.LastSeq())
+	updates, err := f.pub.Pull(f.app.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(updates) != 4 {
 		t.Fatalf("pulled %d", len(updates))
 	}
@@ -181,8 +184,8 @@ func TestPullPath(t *testing.T) {
 		t.Fatalf("replica after pull: %d", r.Price)
 	}
 	// Second pull is empty: sequence bookkeeping advanced.
-	if got := f.pub.Pull(f.app.LastSeq()); len(got) != 0 {
-		t.Fatalf("second pull: %d", len(got))
+	if got, err := f.pub.Pull(f.app.LastSeq()); err != nil || len(got) != 0 {
+		t.Fatalf("second pull: %d updates, err %v", len(got), err)
 	}
 }
 
@@ -193,7 +196,10 @@ func TestDuplicateAndStaleUpdatesIgnored(t *testing.T) {
 	if err := f.master.MarkUpdated(f.tick); err != nil {
 		t.Fatal(err)
 	}
-	updates := f.pub.Pull(0)
+	updates, err := f.pub.Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(updates) != 1 {
 		t.Fatalf("log: %d", len(updates))
 	}
@@ -219,7 +225,10 @@ func TestUpdateForUnknownObjectSkipped(t *testing.T) {
 	if err := f.master.MarkUpdated(f.tick); err != nil {
 		t.Fatal(err)
 	}
-	updates := f.pub.Pull(0)
+	updates, err := f.pub.Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := f.app.Apply(&updates[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -237,8 +246,70 @@ func TestLogBound(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := f.pub.Pull(0); len(got) != 2 {
-		t.Fatalf("bounded log kept %d", len(got))
+	// Seqs 1..5 published, 1..3 truncated. Pulling from inside the window
+	// works; pulling from behind it is the typed too-far-behind error.
+	if got, err := f.pub.Pull(3); err != nil || len(got) != 2 {
+		t.Fatalf("bounded log kept %d, err %v", len(got), err)
+	}
+	if _, err := f.pub.Pull(0); !errors.Is(err, ErrTooFarBehind) {
+		t.Fatalf("pull behind the window: %v", err)
+	}
+}
+
+func TestPullTruncationBoundary(t *testing.T) {
+	f := setup(t)
+	r := f.replicate(t)
+	f.pub.SetMaxLog(2)
+	for i := int64(1); i <= 6; i++ {
+		f.tick.Price = 10 + i
+		if err := f.master.MarkUpdated(f.tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window is (4, 6]; floor is 4.
+	if _, err := f.pub.Pull(4); err != nil {
+		t.Fatalf("pull exactly at the floor must succeed: %v", err)
+	}
+	_, err := f.pub.Pull(3)
+	var tfb *TooFarBehindError
+	if !errors.As(err, &tfb) {
+		t.Fatalf("pull below the floor: %v", err)
+	}
+	if tfb.Since != 3 || tfb.Oldest != 5 {
+		t.Fatalf("boundary payload: since=%d oldest=%d", tfb.Since, tfb.Oldest)
+	}
+	if !errors.Is(err, ErrTooFarBehind) {
+		t.Fatal("typed error must match ErrTooFarBehind")
+	}
+
+	// Full-state resync: read the frontier first, then refresh the
+	// replica, then resume pulling from the frontier. Nothing in the
+	// truncated gap is lost — the refresh covers it.
+	frontier := f.pub.Frontier()
+	if err := f.client.Refresh(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Price != 16 {
+		t.Fatalf("refreshed replica: %d", r.Price)
+	}
+	got, err := f.pub.Pull(frontier)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("post-resync pull: %d updates, err %v", len(got), err)
+	}
+	// Later updates flow through the pull path again.
+	f.tick.Price = 42
+	if err := f.master.MarkUpdated(f.tick); err != nil {
+		t.Fatal(err)
+	}
+	got, err = f.pub.Pull(frontier)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("pull after resync: %d updates, err %v", len(got), err)
+	}
+	if err := f.app.Apply(&got[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Price != 42 {
+		t.Fatalf("replica after resumed pulls: %d", r.Price)
 	}
 }
 

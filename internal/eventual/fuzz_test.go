@@ -1,0 +1,92 @@
+package eventual
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRecord drives the update-record codec over arbitrary bytes —
+// the torn and bit-flipped records a crashed site's WAL (or a corrupted
+// sync batch) can present. Mirroring the WAL's frame fuzzers, it asserts
+// the record format's fail-closed contract:
+//
+//   - never panic, never over-read;
+//   - anything that decodes re-encodes to the exact input bytes (the
+//     format is canonical), and round-trips again to an equal Update;
+//   - everything else fails with ErrBadRecord — no partial Update ever
+//     escapes.
+func FuzzDecodeRecord(f *testing.F) {
+	clean := EncodeRecord(&Update{
+		ID:   UpdateID{Clock: 7, Site: 3},
+		OID:  0x30001,
+		Fn:   "evtest.append",
+		Args: []byte("payload"),
+		CSN:  2,
+	})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3]) // torn tail
+	flipped := bytes.Clone(clean)
+	flipped[len(flipped)-1] ^= 0xFF // CRC flip
+	f.Add(flipped)
+	bodyFlip := bytes.Clone(clean)
+	bodyFlip[1] ^= 0x80 // body flip under intact length
+	f.Add(bodyFlip)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // absurd uvarints
+	f.Add([]byte{})
+	f.Add([]byte{recordVersion})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("decode error %v does not wrap ErrBadRecord", err)
+			}
+			if u != nil {
+				t.Fatal("partial update escaped a failed decode")
+			}
+			return
+		}
+		if u.ID.IsZero() {
+			t.Fatal("decoded update with zero id")
+		}
+		re := EncodeRecord(u)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, re)
+		}
+		u2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if u2.ID != u.ID || u2.OID != u.OID || u2.Fn != u.Fn || u2.CSN != u.CSN || !bytes.Equal(u2.Args, u.Args) {
+			t.Fatal("round-trip changed the update")
+		}
+	})
+}
+
+// FuzzRecordRoundTrip builds updates from fuzzed fields and checks
+// encode→decode is the identity — including empty args, huge clocks, and
+// update-function names with arbitrary bytes.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(1), uint64(1), "evtest.append", []byte("x"), uint64(0))
+	f.Add(uint64(1<<63), uint16(0xFFFF), uint64(1<<40), "f", []byte{}, uint64(1<<32))
+	f.Add(uint64(3), uint16(2), uint64(9), "", []byte("args"), uint64(7))
+
+	f.Fuzz(func(t *testing.T, clock uint64, site uint16, oid uint64, fn string, args []byte, csn uint64) {
+		if clock == 0 && site == 0 {
+			return // zero ids are invalid by construction
+		}
+		in := &Update{ID: UpdateID{Clock: clock, Site: site}, OID: oid, Fn: fn, Args: args, CSN: csn}
+		enc := EncodeRecord(in)
+		out, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded record: %v", err)
+		}
+		if out.ID != in.ID || out.OID != in.OID || out.Fn != in.Fn || out.CSN != in.CSN {
+			t.Fatal("round trip changed fields")
+		}
+		if len(in.Args) != len(out.Args) || (len(in.Args) > 0 && !bytes.Equal(in.Args, out.Args)) {
+			t.Fatal("round trip changed args")
+		}
+	})
+}

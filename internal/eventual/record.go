@@ -1,0 +1,117 @@
+package eventual
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"obiwan/internal/codec"
+)
+
+// The update-log record codec: the byte form an Update takes both in WAL
+// journal entries and inside anti-entropy sync batches. The format is
+// self-checking — a version byte up front and a CRC32-C over everything
+// before it at the back — so a torn or corrupted record *fails closed*: a
+// decoder either returns the exact update that was encoded or an error,
+// never a partial or mutated update. (The WAL already CRC-frames whole
+// records; this inner checksum additionally covers the RMI path, where
+// batches cross process boundaries, and defends against bugs that splice
+// record boundaries.)
+//
+// Layout:
+//
+//	byte    version (recordVersion)
+//	uvarint OID
+//	uvarint Clock
+//	uvarint Site
+//	uvarint CSN
+//	string  Fn    (uvarint length + bytes)
+//	bytes   Args  (uvarint length + bytes)
+//	4 bytes CRC32-C (little endian) over everything above
+
+// recordVersion is the update-record format version.
+const recordVersion byte = 1
+
+// maxRecordSize bounds a single decoded record — no legitimate update
+// function argument payload approaches this; it stops a corrupt length
+// prefix from allocating gigabytes.
+const maxRecordSize = 64 << 20
+
+// ErrBadRecord marks any decode failure of an update-log record: torn
+// tail, corrupt field, length overrun, bad checksum, trailing garbage.
+var ErrBadRecord = errors.New("eventual: bad update record")
+
+var recordCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord serializes u into the self-checking record format.
+func EncodeRecord(u *Update) []byte {
+	enc := codec.NewEncoder(32 + len(u.Fn) + len(u.Args))
+	_ = enc.WriteByte(recordVersion)
+	enc.WriteUvarint(u.OID)
+	enc.WriteUvarint(u.ID.Clock)
+	enc.WriteUvarint(uint64(u.ID.Site))
+	enc.WriteUvarint(u.CSN)
+	enc.WriteString(u.Fn)
+	enc.WriteBytes(u.Args)
+	body := enc.Bytes()
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, recordCRCTable))
+	return append(body, crc[:]...)
+}
+
+// DecodeRecord deserializes one update record. Every failure mode — short
+// buffer, unknown version, field corruption, checksum mismatch, bytes left
+// over after the checksum — returns an error wrapping ErrBadRecord; no
+// partially decoded update ever escapes.
+func DecodeRecord(payload []byte) (*Update, error) {
+	if len(payload) < 5 { // version byte + CRC at minimum
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBadRecord, len(payload))
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("%w: oversized (%d bytes)", ErrBadRecord, len(payload))
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got, want := crc32.Checksum(body, recordCRCTable), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x want %#x)", ErrBadRecord, got, want)
+	}
+	dec := codec.NewDecoder(body)
+	version, err := dec.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if version != recordVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadRecord, version)
+	}
+	u := &Update{}
+	if u.OID, err = dec.ReadUvarint(); err != nil {
+		return nil, fmt.Errorf("%w: oid: %v", ErrBadRecord, err)
+	}
+	if u.ID.Clock, err = dec.ReadUvarint(); err != nil {
+		return nil, fmt.Errorf("%w: clock: %v", ErrBadRecord, err)
+	}
+	siteID, err := dec.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: site: %v", ErrBadRecord, err)
+	}
+	if siteID > 0xFFFF {
+		return nil, fmt.Errorf("%w: site id %d overflows uint16", ErrBadRecord, siteID)
+	}
+	u.ID.Site = uint16(siteID)
+	if u.CSN, err = dec.ReadUvarint(); err != nil {
+		return nil, fmt.Errorf("%w: csn: %v", ErrBadRecord, err)
+	}
+	if u.Fn, err = dec.ReadString(); err != nil {
+		return nil, fmt.Errorf("%w: fn: %v", ErrBadRecord, err)
+	}
+	if u.Args, err = dec.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("%w: args: %v", ErrBadRecord, err)
+	}
+	if dec.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, dec.Remaining())
+	}
+	if u.ID.IsZero() {
+		return nil, fmt.Errorf("%w: zero update id", ErrBadRecord)
+	}
+	return u, nil
+}

@@ -565,7 +565,7 @@ func (e *Engine) materialize(sc telemetry.SpanContext, p *Payload) (root any, er
 		frontier[objmodel.OID(fr.OID)] = fr
 	}
 
-	now := time.Now()
+	now := e.rt.Clock().Now()
 	touched := make([]any, 0, len(p.Objects))
 	var memberOIDs []objmodel.OID
 

@@ -159,6 +159,18 @@ func (e *Engine) journalDirtyReplica(entry *heap.Entry) error {
 	})
 }
 
+// JournalDirty reports obj's current (locally edited) replica state to
+// the journal, if one is installed — the exported form of the dirty-edit
+// hook, for layers that mutate replica state outside the engine's own
+// paths (the transaction manager journaling parked disconnected commits).
+func (e *Engine) JournalDirty(obj any) error {
+	entry, ok := e.heap.EntryOf(obj)
+	if !ok {
+		return fmt.Errorf("replication: journal dirty: %w: %T", heap.ErrUnknownObject, obj)
+	}
+	return e.journalDirtyReplica(entry)
+}
+
 // journalCleanReplica retracts a dirty record after a successful put or a
 // refresh that overwrote the local edit.
 func (e *Engine) journalCleanReplica(oid objmodel.OID, newVersion uint64) error {

@@ -6,10 +6,12 @@ import (
 	"sync"
 
 	"obiwan/internal/codec"
+	"obiwan/internal/eventual"
 	"obiwan/internal/heap"
 	"obiwan/internal/objmodel"
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
+	"obiwan/internal/txn"
 	"obiwan/internal/wal"
 )
 
@@ -37,6 +39,10 @@ const (
 	recClean  uint64 = 3 // retracts a dirty record
 	recBind   uint64 = 4 // name binding (last-wins per name)
 	recProxy  uint64 = 5 // proxy-in export id (last-wins per OID)
+
+	recPending     uint64 = 6 // parked disconnected txn commit (last-wins per id)
+	recPendingDone uint64 = 7 // retracts a parked-txn record
+	recEventual    uint64 = 8 // one update-log event (replayed in order)
 )
 
 // compactThreshold is the log size that triggers background compaction.
@@ -84,12 +90,36 @@ type walProxyRec struct {
 	ID  uint64
 }
 
+// walPendingRec records a transaction commit parked by disconnection: the
+// id plus its write set, enough to re-adopt the pending commit after a
+// crash (the dirty state itself rides the ordinary recDirty records).
+type walPendingRec struct {
+	ID   uint64
+	OIDs []uint64
+}
+
+// walPendingDoneRec retracts a parked-txn record (flushed or rolled back).
+type walPendingDoneRec struct {
+	ID uint64
+}
+
+// walEventualRec wraps one eventual.Store journal event. Unlike the other
+// record kinds these are event-sourced, not last-wins: recovery replays
+// them in log order through eventual.Store.Recover.
+type walEventualRec struct {
+	Kind    uint64
+	Payload []byte
+}
+
 func init() {
 	codec.MustRegister("obiwan.site.walMasterRec", walMasterRec{})
 	codec.MustRegister("obiwan.site.walDirtyRec", walDirtyRec{})
 	codec.MustRegister("obiwan.site.walCleanRec", walCleanRec{})
 	codec.MustRegister("obiwan.site.walBindRec", walBindRec{})
 	codec.MustRegister("obiwan.site.walProxyRec", walProxyRec{})
+	codec.MustRegister("obiwan.site.walPendingRec", walPendingRec{})
+	codec.MustRegister("obiwan.site.walPendingDoneRec", walPendingDoneRec{})
+	codec.MustRegister("obiwan.site.walEventualRec", walEventualRec{})
 }
 
 // durability implements replication.Journal over a wal.Store.
@@ -106,13 +136,18 @@ type durability struct {
 
 	mu       sync.Mutex
 	bindings map[string]replication.Descriptor
+	parked   map[uint64][]uint64 // live parked txns: id → sorted write OIDs
 
 	compactC chan struct{}
 	stopC    chan struct{}
 	wg       sync.WaitGroup
 }
 
-var _ replication.Journal = (*durability)(nil)
+var (
+	_ replication.Journal = (*durability)(nil)
+	_ eventual.Journal    = (*durability)(nil)
+	_ txn.PendingJournal  = (*durability)(nil)
+)
 
 func newDurability(s *Site, store *wal.Store) *durability {
 	return &durability{
@@ -120,6 +155,7 @@ func newDurability(s *Site, store *wal.Store) *durability {
 		store:    store,
 		reg:      s.rt.Registry(),
 		bindings: make(map[string]replication.Descriptor),
+		parked:   make(map[uint64][]uint64),
 		compactC: make(chan struct{}, 1),
 		stopC:    make(chan struct{}),
 	}
@@ -194,6 +230,49 @@ func (d *durability) ProxyInExported(oid objmodel.OID, id uint64) error {
 	return d.append(recProxy, &walProxyRec{OID: uint64(oid), ID: id})
 }
 
+// AppendEventual implements eventual.Journal: one update-log event,
+// write-ahead. The store calls this without holding its state mutex, so
+// the lock order stays d.mu → store.mu (compaction) with no inversion.
+func (d *durability) AppendEventual(rec eventual.JournalRecord) error {
+	return d.append(recEventual, &walEventualRec{Kind: rec.Kind, Payload: rec.Payload})
+}
+
+// TxnParked implements txn.PendingJournal: a disconnected commit joined
+// the pending queue and must survive a crash.
+func (d *durability) TxnParked(id uint64, writeOIDs []uint64) error {
+	d.mu.Lock()
+	d.parked[id] = append([]uint64(nil), writeOIDs...)
+	d.mu.Unlock()
+	return d.append(recPending, &walPendingRec{ID: id, OIDs: writeOIDs})
+}
+
+// TxnResolved implements txn.PendingJournal: the parked commit flushed or
+// rolled back.
+func (d *durability) TxnResolved(id uint64) error {
+	d.mu.Lock()
+	delete(d.parked, id)
+	d.mu.Unlock()
+	return d.append(recPendingDone, &walPendingDoneRec{ID: id})
+}
+
+// parkedTxn is one recovered parked commit, for adoption by TxnManager.
+type parkedTxn struct {
+	id   uint64
+	oids []uint64
+}
+
+// parkedSnapshot returns the live parked txns in id order.
+func (d *durability) parkedSnapshot() []parkedTxn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]parkedTxn, 0, len(d.parked))
+	for id, oids := range d.parked {
+		out = append(out, parkedTxn{id: id, oids: append([]uint64(nil), oids...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // journalBind records a successful name binding.
 func (d *durability) journalBind(name string, desc replication.Descriptor) error {
 	d.mu.Lock()
@@ -208,6 +287,8 @@ type recoveredState struct {
 	dirty    []walDirtyRec
 	bindings map[string]replication.Descriptor
 	proxyIns map[uint64]uint64
+	parked   map[uint64][]uint64
+	eventual []eventual.JournalRecord // in log order, NOT folded
 }
 
 // foldRecords decodes raw WAL records (snapshot first, then log) into the
@@ -218,6 +299,7 @@ func (d *durability) foldRecords(raw [][]byte) (*recoveredState, error) {
 	out := &recoveredState{
 		bindings: make(map[string]replication.Descriptor),
 		proxyIns: make(map[uint64]uint64),
+		parked:   make(map[uint64][]uint64),
 	}
 	for i, payload := range raw {
 		dec := codec.NewDecoder(payload)
@@ -256,6 +338,24 @@ func (d *durability) foldRecords(raw [][]byte) (*recoveredState, error) {
 				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
 			}
 			out.proxyIns[rec.OID] = rec.ID
+		case recPending:
+			var rec walPendingRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			out.parked[rec.ID] = rec.OIDs
+		case recPendingDone:
+			var rec walPendingDoneRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			delete(out.parked, rec.ID)
+		case recEventual:
+			var rec walEventualRec
+			if err := dec.DecodeStruct(d.reg, &rec); err != nil {
+				return nil, fmt.Errorf("site: wal record %d: %w", i, err)
+			}
+			out.eventual = append(out.eventual, eventual.JournalRecord{Kind: rec.Kind, Payload: rec.Payload})
 		default:
 			return nil, fmt.Errorf("site: wal record %d: unknown kind %d", i, kind)
 		}
@@ -338,6 +438,27 @@ func (d *durability) recover(raw [][]byte) error {
 			return err
 		}
 	}
+
+	// Update log last: its base records may re-create heap entries, and
+	// its replays read whatever master/replica state the passes above
+	// rebuilt. Replay runs in log order (event-sourced) through the same
+	// ingest path live sync uses.
+	if len(st.eventual) > 0 {
+		ev := d.site.eventual
+		if ev == nil {
+			return fmt.Errorf("site: wal holds %d update-log records but the site was built without WithEventual", len(st.eventual))
+		}
+		if err := ev.Recover(st.eventual); err != nil {
+			return fmt.Errorf("site: recover update log: %w", err)
+		}
+	}
+
+	// Parked disconnected commits: kept here until TxnManager adopts them.
+	d.mu.Lock()
+	for id, oids := range st.parked {
+		d.parked[id] = oids
+	}
+	d.mu.Unlock()
 
 	// Re-register bindings. Bind (not Rebind) on purpose: the nameserver
 	// recognizes the same provider address as the owner coming back.
@@ -427,6 +548,29 @@ func (d *durability) snapshotRecords() ([][]byte, error) {
 			return nil, err
 		}
 		out = append(out, payload)
+	}
+	ids := make([]uint64, 0, len(d.parked))
+	for id := range d.parked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		payload, err := d.encodeRec(recPending, &walPendingRec{ID: id, OIDs: d.parked[id]})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+	}
+	if ev := d.site.eventual; ev != nil {
+		// Lock order d.mu → store.mu, same as every compaction read of
+		// engine state; the store never journals while holding store.mu.
+		for _, rec := range ev.SnapshotRecords() {
+			payload, err := d.encodeRec(recEventual, &walEventualRec{Kind: rec.Kind, Payload: rec.Payload})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, payload)
+		}
 	}
 	return out, nil
 }

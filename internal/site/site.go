@@ -21,6 +21,7 @@ import (
 	"obiwan/internal/admin"
 	"obiwan/internal/consistency"
 	"obiwan/internal/dissemination"
+	"obiwan/internal/eventual"
 	"obiwan/internal/heap"
 	"obiwan/internal/nameserver"
 	"obiwan/internal/objmodel"
@@ -29,6 +30,7 @@ import (
 	"obiwan/internal/rmi"
 	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
+	"obiwan/internal/txn"
 	"obiwan/internal/wal"
 )
 
@@ -61,6 +63,7 @@ type options struct {
 	noTel       bool
 	incarnation uint64
 	group       *GroupConfig
+	eventual    bool
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -160,8 +163,10 @@ type Site struct {
 		walFsync       *telemetry.Histogram
 	}
 
-	durable *durability // nil for in-memory sites
-	group   *Group      // nil for single-master sites
+	durable  *durability     // nil for in-memory sites
+	group    *Group          // nil for single-master sites
+	eventual *eventual.Store // nil unless built WithEventual
+	txnMgr   *txn.Manager    // lazily built by TxnManager
 
 	mu         sync.Mutex
 	basePolicy replication.Policy
@@ -255,6 +260,11 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		fetchFactor: o.fetchFactor,
 		tel:         hub,
 	}
+	if s.lease != nil && s.lease.Clock == nil {
+		// Leases age on the runtime's clock, not the wall clock, so expiry
+		// is deterministic under netsim's VirtualClock.
+		s.lease.Clock = rt.Clock().Now
+	}
 	if m := hub.Metrics(); m != nil {
 		s.met.syncedDirty = m.Counter("site.sync.dirty")
 		s.met.refreshedStale = m.Counter("site.refresh.stale")
@@ -282,6 +292,22 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 	}
 
 	policy := o.policy
+	if o.eventual {
+		// Log-managed objects must change only through update functions:
+		// a raw state put would fork from the committed prefix. Tentative
+		// sits innermost so the rejection precedes any invalidation
+		// fan-out, and in basePolicy so later layers (dissemination)
+		// compose on top of it. The closure late-binds the store, which
+		// needs the engine and so is built a few lines down.
+		tent := consistency.NewTentative(func(oid objmodel.OID) bool {
+			ev := s.eventual
+			return ev != nil && ev.Managed(oid)
+		})
+		if policy != nil {
+			tent.Base = policy
+		}
+		policy = tent
+	}
 	s.basePolicy = policy
 	engineOpts := []replication.Option{
 		replication.WithCrossover(s.crossover),
@@ -320,6 +346,19 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		return nil, fmt.Errorf("site %q: admin landed at id %d, want %d", name, adminRef.ID, adminID)
 	}
 
+	if o.eventual {
+		s.eventual = eventual.NewStore(name, s.engine, hub)
+		aeRef, err := rt.ExportWithID(antiEntropyID, &antiEntropySink{store: s.eventual}, AntiEntropyIface)
+		if err != nil {
+			_ = rt.Close()
+			return nil, fmt.Errorf("site %q: export anti-entropy: %w", name, err)
+		}
+		if aeRef.ID != antiEntropyID {
+			_ = rt.Close()
+			return nil, fmt.Errorf("site %q: anti-entropy landed at id %d, want %d", name, aeRef.ID, antiEntropyID)
+		}
+	}
+
 	if o.nsAddr != "" {
 		s.ns = nameserver.NewClient(rt, nameserver.WellKnownRef(o.nsAddr))
 	}
@@ -346,6 +385,9 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 			return nil, fmt.Errorf("site %q: recover: %w", name, err)
 		}
 		s.engine.SetJournal(d)
+		if s.eventual != nil {
+			s.eventual.SetJournal(d)
+		}
 		if err := d.compactNow(); err != nil {
 			_ = rt.Close()
 			store.Close()

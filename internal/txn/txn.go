@@ -28,8 +28,10 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"obiwan/internal/eventual"
 	"obiwan/internal/heap"
 	"obiwan/internal/netsim"
 	"obiwan/internal/objmodel"
@@ -81,6 +83,18 @@ func (s Status) String() string {
 	}
 }
 
+// PendingJournal durably records the pending-commit queue: which parked
+// transactions exist (their write-set OIDs ride along so recovery can
+// rebuild the write set from the recovered heap) and when each resolves.
+// The site layer implements it over the same WAL as the replication
+// journal; the written replica states themselves are made durable through
+// the engine's dirty-replica journaling, so a parked commit survives a
+// crash end to end.
+type PendingJournal interface {
+	TxnParked(id uint64, writeOIDs []uint64) error
+	TxnResolved(id uint64) error
+}
+
 // Manager coordinates transactions at one site.
 type Manager struct {
 	eng *replication.Engine
@@ -88,11 +102,73 @@ type Manager struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending []*Txn
+	pj      PendingJournal
+	ev      *eventual.Store
 }
 
 // NewManager builds a transaction manager over a site's engine.
 func NewManager(eng *replication.Engine) *Manager {
 	return &Manager{eng: eng}
+}
+
+// SetPendingJournal installs the pending-queue journal (nil to clear).
+func (m *Manager) SetPendingJournal(pj PendingJournal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pj = pj
+}
+
+// SetEventual routes update-function intents (Txn.Apply) on log-managed
+// objects through the weakly-connected store: their commits append to the
+// update log — which works fully disconnected — instead of shipping raw
+// state to the master.
+func (m *Manager) SetEventual(s *eventual.Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ev = s
+}
+
+func (m *Manager) eventualStore() *eventual.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ev
+}
+
+func (m *Manager) pendingJournal() PendingJournal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pj
+}
+
+// AdoptPending re-parks a transaction recovered from the pending-commit
+// journal. The write set is rebuilt from the recovered heap (the dirty
+// replica states came back through the replication journal); OIDs no
+// longer in the heap are skipped. Adopted transactions have no pre-images
+// — a post-recovery rejection clears the dirty flag and leaves the state
+// for a Refresh rather than rolling back.
+func (m *Manager) AdoptPending(id uint64, writeOIDs []uint64) *Txn {
+	t := &Txn{
+		mgr:      m,
+		id:       id,
+		status:   Pending,
+		parked:   true,
+		reads:    make(map[objmodel.OID]uint64),
+		preimage: make(map[objmodel.OID][]byte),
+		writes:   make(map[objmodel.OID]any),
+	}
+	for _, o := range writeOIDs {
+		oid := objmodel.OID(o)
+		if entry, ok := m.eng.Heap().Get(oid); ok {
+			t.writes[oid] = entry.Obj
+		}
+	}
+	m.mu.Lock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+	m.pending = append(m.pending, t)
+	m.mu.Unlock()
+	return t
 }
 
 // Begin opens a transaction.
@@ -135,9 +211,10 @@ func (m *Manager) FlushPending() (int, error) {
 		switch {
 		case err == nil:
 			t.setStatus(Committed)
+			t.journalResolve()
 			committed++
 		case isDisconnection(err):
-			// Still offline: keep it parked.
+			// Still offline: keep it parked (its journal record stands).
 			m.mu.Lock()
 			m.pending = append(m.pending, t)
 			m.mu.Unlock()
@@ -148,6 +225,7 @@ func (m *Manager) FlushPending() (int, error) {
 			// Definitive rejection: undo the local effects.
 			t.rollbackLocked()
 			t.setStatus(Aborted)
+			t.journalResolve()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: txn %d: %w", ErrConflict, t.id, err)
 			}
@@ -163,6 +241,8 @@ type Txn struct {
 	id     uint64
 	mu     sync.Mutex
 	status Status
+	// parked: this transaction's park is journaled and must be resolved.
+	parked bool
 
 	// reads: replica version observed at enrollment (validation set).
 	reads map[objmodel.OID]uint64
@@ -170,6 +250,15 @@ type Txn struct {
 	preimage map[objmodel.OID][]byte
 	// writes: objects the transaction intends to put.
 	writes map[objmodel.OID]any
+	// applies: update-function intents against log-managed objects, in
+	// call order; committed by appending to the eventual store's log.
+	applies []applyIntent
+}
+
+type applyIntent struct {
+	obj  any
+	fn   string
+	args []byte
 }
 
 // ID returns the transaction id (site-local).
@@ -233,11 +322,49 @@ func (t *Txn) Write(obj any) error {
 	return nil
 }
 
+// Apply enrolls an update-function intent: run the registered function fn
+// with args against obj at commit. If obj is managed by the site's
+// weakly-connected store (Manager.SetEventual), commit appends the update
+// to the log — tentatively applied at once, committed by the object's
+// primary through anti-entropy — which succeeds fully disconnected and
+// merges with concurrent edits instead of conflicting. Unmanaged objects
+// fall back to write semantics: fn runs immediately and the resulting
+// state ships to the master at commit like any Write.
+func (t *Txn) Apply(obj any, fn string, args []byte) error {
+	if !eventual.HasUpdate(fn) {
+		return fmt.Errorf("%w: %q", eventual.ErrUnknownUpdateFunc, fn)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.status != Active {
+		return ErrClosed
+	}
+	entry, ok := t.mgr.eng.Heap().EntryOf(obj)
+	if !ok {
+		return heap.ErrUnknownObject
+	}
+	if ev := t.mgr.eventualStore(); ev != nil && ev.Managed(entry.OID) {
+		t.applies = append(t.applies, applyIntent{obj: obj, fn: fn, args: args})
+		return nil
+	}
+	if _, err := t.enroll(obj); err != nil {
+		return err
+	}
+	if err := eventual.ApplyRegistered(obj, fn, args); err != nil {
+		return err
+	}
+	t.writes[entry.OID] = obj
+	entry.SetDirty(true)
+	return nil
+}
+
 // Commit validates and applies the transaction. Read-set validation is
 // local; write application is per-master Put, judged by the master's
 // consistency policy. While disconnected the transaction parks as Pending
 // and Commit returns nil: local work proceeds, FlushPending finishes the
-// job later.
+// job later. Update-function intents (Apply on log-managed objects)
+// append to the update log first — that part of the commit never needs
+// connectivity.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.status != Active {
@@ -262,7 +389,23 @@ func (t *Txn) Commit() error {
 				ErrConflict, oid, readV, entry.Version())
 		}
 	}
+	intents := t.applies
 	t.mu.Unlock()
+
+	// Log-managed intents first: appending to the update log is local and
+	// connectivity-free. A failure here is a programming error (unknown
+	// function was pre-checked, tracking was checked at Apply).
+	if ev := t.mgr.eventualStore(); ev != nil {
+		for _, in := range intents {
+			if _, err := ev.Append(in.obj, in.fn, in.args); err != nil {
+				t.mu.Lock()
+				t.rollbackLocked()
+				t.status = Aborted
+				t.mu.Unlock()
+				return fmt.Errorf("%w: %w", ErrConflict, err)
+			}
+		}
+	}
 
 	err := t.push()
 	switch {
@@ -274,13 +417,64 @@ func (t *Txn) Commit() error {
 		t.mgr.mu.Lock()
 		t.mgr.pending = append(t.mgr.pending, t)
 		t.mgr.mu.Unlock()
-		return nil
+		return t.journalPark()
 	default:
 		t.mu.Lock()
 		t.rollbackLocked()
 		t.status = Aborted
 		t.mu.Unlock()
 		return fmt.Errorf("%w: %w", ErrConflict, err)
+	}
+}
+
+// journalPark makes a freshly parked transaction durable: each written
+// replica's edited state goes through the engine's dirty-replica journal
+// and the park itself through the pending journal. A returned error means
+// the park is NOT durable (the transaction stays parked in memory).
+func (t *Txn) journalPark() error {
+	t.mu.Lock()
+	if t.parked {
+		t.mu.Unlock()
+		return nil
+	}
+	t.parked = true
+	oids := make([]uint64, 0, len(t.writes))
+	objs := make([]any, 0, len(t.writes))
+	for oid, obj := range t.writes {
+		oids = append(oids, uint64(oid))
+		objs = append(objs, obj)
+	}
+	t.mu.Unlock()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, obj := range objs {
+		entry, ok := t.mgr.eng.Heap().EntryOf(obj)
+		if !ok || entry.Role == heap.Master {
+			continue // masters journal through their own update path
+		}
+		if err := t.mgr.eng.JournalDirty(obj); err != nil {
+			return err
+		}
+	}
+	pj := t.mgr.pendingJournal()
+	if pj == nil {
+		return nil
+	}
+	return pj.TxnParked(t.id, oids)
+}
+
+// journalResolve retracts a parked transaction's journal record once it
+// commits or aborts. Best-effort: a missed retraction only means recovery
+// re-adopts a finished transaction, whose replay is idempotent.
+func (t *Txn) journalResolve() {
+	t.mu.Lock()
+	wasParked := t.parked
+	t.parked = false
+	t.mu.Unlock()
+	if !wasParked {
+		return
+	}
+	if pj := t.mgr.pendingJournal(); pj != nil {
+		_ = pj.TxnResolved(t.id)
 	}
 }
 
@@ -316,12 +510,14 @@ func (t *Txn) push() error {
 // Rollback undoes the transaction's local effects and closes it.
 func (t *Txn) Rollback() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.status != Active && t.status != Pending {
+		t.mu.Unlock()
 		return ErrClosed
 	}
 	t.rollbackLocked()
 	t.status = Aborted
+	t.mu.Unlock()
+	t.journalResolve()
 	return nil
 }
 
@@ -337,6 +533,17 @@ func (t *Txn) rollbackLocked() {
 		// recovery than the master's copy (a later Refresh).
 		_ = t.mgr.eng.RestoreSnapshot(entry.Obj, state)
 		entry.SetDirty(false)
+	}
+	// Adopted (recovered) transactions carry no pre-images: the best undo
+	// is dropping the dirty mark and letting a Refresh fetch the master's
+	// copy.
+	for oid := range t.writes {
+		if _, havePre := t.preimage[oid]; havePre {
+			continue
+		}
+		if entry, ok := t.mgr.eng.Heap().Get(oid); ok {
+			entry.SetDirty(false)
+		}
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"obiwan/internal/admin"
 	"obiwan/internal/consistency"
 	"obiwan/internal/dissemination"
+	"obiwan/internal/eventual"
 	"obiwan/internal/heap"
 	"obiwan/internal/invoke"
 	"obiwan/internal/nameserver"
@@ -289,6 +290,63 @@ var ErrConflict = consistency.ErrConflict
 // ErrTxnConflict is returned by Txn.Commit / TxnManager.FlushPending when a
 // transaction was rolled back; it wraps the rejecting policy's error.
 var ErrTxnConflict = txn.ErrConflict
+
+// Weakly-connected replication (DESIGN.md §11): sites built WithEventual
+// carry an ordered log of deterministic update functions. Updates apply
+// tentatively the moment they are appended — fully disconnected — and
+// become stable when the object's primary assigns them a commit position;
+// pairwise anti-entropy sessions (Site.AntiEntropy) exchange version
+// vectors and ship missing updates until every site holds the identical
+// committed prefix.
+type (
+	// UpdateLog is a site's weakly-connected update store (Site.Eventual):
+	// the ordered log, the committed/tentative division, the version
+	// vector, and the truncation frontier table.
+	UpdateLog = eventual.Store
+	// UpdateID stamps one update <logical clock, authoring site>.
+	UpdateID = eventual.UpdateID
+	// UpdateFunc is a deterministic, registered update function: it
+	// mutates obj from args and may decline by returning an error (a
+	// decline is deterministic too, and commits as a no-op).
+	UpdateFunc = eventual.UpdateFunc
+	// SyncStats summarizes what one anti-entropy session absorbed.
+	SyncStats = eventual.SyncStats
+	// UpdateLogStats counts an update log's lifetime activity: tentative
+	// applies, commits, rollback/replay events, declines, truncations.
+	UpdateLogStats = eventual.StoreStats
+)
+
+var (
+	// WithEventual enables weakly-connected replication for the site;
+	// objects opt in per object with Site.Track.
+	WithEventual = site.WithEventual
+	// RegisterUpdate registers an update function under a stable name
+	// (before any replication; an init function is idiomatic). Every
+	// site must register the same functions under the same names.
+	RegisterUpdate = eventual.RegisterUpdate
+	// MustRegisterUpdate is RegisterUpdate, panicking on error.
+	MustRegisterUpdate = eventual.MustRegisterUpdate
+)
+
+var (
+	// ErrNoEventual marks weakly-connected operations on sites built
+	// without WithEventual.
+	ErrNoEventual = site.ErrNoEventual
+	// ErrTentative marks a raw state put rejected because the object is
+	// managed by the update log (mutate it with Site.Apply instead).
+	ErrTentative = consistency.ErrTentative
+	// ErrCommitGap marks a commit record that would leave a hole in an
+	// object's commit sequence; the whole batch is rejected.
+	ErrCommitGap = eventual.ErrCommitGap
+	// ErrBadUpdateRecord marks a torn or corrupted update-log record —
+	// in a WAL after a crash or in a sync batch off the wire. Decoding
+	// fails closed; no partial update is ever applied.
+	ErrBadUpdateRecord = eventual.ErrBadRecord
+	// ErrTooFarBehind marks a dissemination Pull from below the
+	// publisher's retained log; the subscriber resynchronizes with a
+	// full state fetch instead of an incremental batch.
+	ErrTooFarBehind = dissemination.ErrTooFarBehind
+)
 
 // Networks.
 var (
