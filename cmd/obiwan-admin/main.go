@@ -14,6 +14,12 @@
 //	obiwan-admin -site host:port -top 10 top        # hottest objects
 //	obiwan-admin -site host:port flight             # flight-recorder dump
 //	obiwan-admin -site host:port -interval 2s watch # live telemetry stream
+//	obiwan-admin -site host:port fleet top          # federated fleet view
+//	obiwan-admin -site host:port fleet alerts       # SLO watchdog alerts
+//
+// The fleet subcommands address a site running a fleet collector; `fleet
+// top` forces a fresh scrape of every peer before rendering, `fleet
+// alerts` prints the watchdog's retained alert backlog.
 //
 // -timeout bounds each RMI the tool issues; watch additionally honors
 // -interval (poll period) and -count (chunks to print before exiting,
@@ -66,6 +72,13 @@ func main() {
 	cmd := "report"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
+	}
+	if cmd == "fleet" {
+		verb := ""
+		if flag.NArg() > 1 {
+			verb = flag.Arg(1)
+		}
+		cmd = "fleet " + verb
 	}
 	if *ping {
 		cmd = "ping"
@@ -133,6 +146,21 @@ func run(w io.Writer, siteAddr, cmd string, o runOpts) error {
 		return err
 	case "watch":
 		return watch(w, client, o)
+	case "fleet top":
+		snap, err := client.Fleet(true)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, snap.Format())
+		return err
+	case "fleet alerts":
+		chunk, err := client.FleetAlerts()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "site %q watchdog:\n", chunk.Site)
+		_, err = io.WriteString(w, telemetry.FormatAlerts(chunk.Alerts))
+		return err
 	case "report", "objects":
 		report, err := client.Report()
 		if err != nil {
@@ -140,7 +168,7 @@ func run(w io.Writer, siteAddr, cmd string, o runOpts) error {
 		}
 		return render(w, report, cmd == "objects")
 	default:
-		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, trace, top, flight, or watch)", cmd)
+		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, trace, top, flight, watch, fleet top, or fleet alerts)", cmd)
 	}
 }
 

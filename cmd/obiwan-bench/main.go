@@ -14,13 +14,23 @@
 //	obiwan-bench -exp auto                # RMI/LMI/auto invocation policies
 //	obiwan-bench -exp profile             # hot-object replication profiler report
 //	obiwan-bench -exp failover            # master-group overhead + elect latency
+//	obiwan-bench -exp fleet               # capacity curves via fleet federation
 //	obiwan-bench -exp all                 # everything
 //
 // Flags: -quick (scaled-down parameters), -csv (machine-readable output),
 // -profile lan10|wan|wireless|loopback, -list (list length), -svg DIR
 // (render figures), -flight FILE (write the profile run's flight dump),
 // -json FILE (write every collected point as JSON — the checked-in
-// BENCH_failover.json baseline is `-exp failover -json BENCH_failover.json`).
+// baselines are `-exp failover -json BENCH_failover.json` and
+// `-exp fleet -json BENCH_fleet.json`).
+//
+// Regression gate:
+//
+//	obiwan-bench -check BENCH_failover.json -tolerance 5
+//
+// reruns every experiment the baseline records (virtual-clock experiments
+// only) and exits non-zero if any figure drifted more than the tolerance
+// percentage in either direction, or if a baseline point disappeared.
 package main
 
 import (
@@ -39,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, failover, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, failover, fleet, all")
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	profile := flag.String("profile", "lan10", "link profile: lan10, wan, wireless, loopback")
@@ -49,12 +59,49 @@ func main() {
 	svgDir := flag.String("svg", "", "also render each experiment as an SVG figure into this directory")
 	flightFile := flag.String("flight", "", "write the profile experiment's flight-recorder dump to this file")
 	jsonFile := flag.String("json", "", "write every collected point as JSON to this file")
+	checkFile := flag.String("check", "", "regression gate: rerun the experiments in this baseline JSON and fail on drift")
+	tolerance := flag.Float64("tolerance", 5, "allowed relative drift in percent for -check")
 	flag.Parse()
 
+	if *checkFile != "" {
+		if err := runCheck(os.Stdout, *checkFile, *quick, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "obiwan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *exp, *quick, *csv, *profile, *listLen, *size, *step, *svgDir, *flightFile, *jsonFile); err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheck drives the regression gate: any drift beyond tolerance (either
+// direction — unbaselined speedups hide the next slowdown) is an error.
+func runCheck(w io.Writer, baselinePath string, quick bool, tolerance float64) error {
+	baseline, err := bench.LoadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig()
+	if quick {
+		cfg = bench.QuickConfig()
+	}
+	fmt.Fprintf(w, "# obiwan-bench -check %s -tolerance %g (%d baseline points)\n",
+		baselinePath, tolerance, len(baseline))
+	regressions, err := bench.Check(baseline, cfg, tolerance, w)
+	if err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(w, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d of %d baseline points drifted beyond %g%%",
+			len(regressions), len(baseline), tolerance)
+	}
+	fmt.Fprintf(w, "ok: all %d points within %g%%\n", len(baseline), tolerance)
+	return nil
 }
 
 func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size, step int, svgDir, flightFile, jsonFile string) error {
@@ -120,6 +167,8 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 			}},
 		{"failover", "3-site master group vs single master: steady-state overhead + elect latency (virtual clock)",
 			func() ([]bench.Point, error) { return bench.RunFailover(cfg) }},
+		{"fleet", "capacity curves: churn + flash-crowd swept over site counts, measured by the fleet collector (virtual clock, deterministic)",
+			func() ([]bench.Point, error) { return bench.RunFleet(cfg) }},
 	}
 
 	selected := runners[:0:0]

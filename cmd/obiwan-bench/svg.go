@@ -15,6 +15,7 @@ import (
 // (single-point micro numbers, categorical ablations) stay tabular.
 var plottable = map[string]bool{
 	"fig4": true, "fig5": true, "fig6": true, "fig5curve": true, "fig5v6": true,
+	"fleet": true,
 }
 
 // renderSVG writes the experiment's points as an SVG figure and returns
@@ -55,6 +56,10 @@ func chartFor(name string, points []bench.Point) plot.Chart {
 		c.LogX, c.LogY = true, true
 	case "fig5curve":
 		c.XLabel = "invocations"
+	case "fleet":
+		c.XLabel = "sites"
+		c.YLabel = "series value (ms / count / µs)"
+		c.LogX = true
 	default:
 		c.XLabel = "x"
 	}
@@ -72,7 +77,11 @@ func chartFor(name string, points []bench.Point) plot.Chart {
 		if x == 0 {
 			x = float64(len(s.Points) + 1) // categorical experiments
 		}
-		s.Points = append(s.Points, plot.Point{X: x, Y: p.TotalMS})
+		y := p.TotalMS
+		if p.Experiment == "fleet" && !strings.HasSuffix(p.Series, "/ops") {
+			y = p.Value // capacity-curve series carry their figure in Value
+		}
+		s.Points = append(s.Points, plot.Point{X: x, Y: y})
 	}
 	for _, label := range order {
 		c.Series = append(c.Series, *series[label])
@@ -137,6 +146,8 @@ func titleFor(name string) string {
 		return "Cumulative replication staircase"
 	case "fig5v6":
 		return "Clustering delta at equal batch size"
+	case "fleet":
+		return "Fleet capacity curves: staleness, p99, alerts vs site count"
 	default:
 		return name
 	}

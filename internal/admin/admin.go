@@ -70,6 +70,7 @@ type Service struct {
 	heap   *heap.Heap
 	engine *replication.Engine
 	tel    *telemetry.Hub // nil when the site runs without telemetry
+	fleet  FleetSource    // nil unless the site runs a collector (SetFleet)
 }
 
 // NewService builds the admin service for one site. hub may be nil, in

@@ -1,0 +1,160 @@
+package admin
+
+import (
+	"errors"
+
+	"obiwan/internal/codec"
+	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// This file is the federation surface of the admin service: the
+// cursor-based scrape endpoint a fleet collector pulls from, and the
+// fleet endpoints a collector-bearing site answers with. The scrape
+// rides the same well-known export as the rest of the admin service, so
+// a collector can address any site knowing only its transport address.
+
+// WellKnownID is the object id every site exports its admin service at
+// (after the invalidation sink at 1 and the update sink at 2).
+const WellKnownID rmi.ObjID = 3
+
+// Ref builds the reference to the admin service of the site at addr.
+func Ref(addr transport.Addr) rmi.RemoteRef {
+	return rmi.RemoteRef{Addr: addr, ID: WellKnownID, Iface: Iface}
+}
+
+// ScrapeChunk is one federation pull from a site: the full metrics
+// registry, the top-K hot-object profile, and the spans finished since
+// the scraper's cursor. Counters are monotonic and the cursor counts
+// spans ever committed, so a collector that loses a chunk (or restarts)
+// resumes without double-counting — it just feeds NextCursor back in.
+type ScrapeChunk struct {
+	Site       string
+	TakenAtNS  int64
+	NextCursor uint64
+	// Missed counts spans evicted from the ring before this scraper
+	// could read them (the scrape interval is too long for the site's
+	// span rate).
+	Missed  uint64
+	Metrics *telemetry.MetricsSnapshot
+	Profile *telemetry.ProfileSnapshot
+	Spans   []telemetry.SpanRecord
+}
+
+// AlertChunk wraps the watchdog's alert backlog for the wire.
+type AlertChunk struct {
+	Site      string
+	TakenAtNS int64
+	Alerts    []telemetry.Alert
+}
+
+func init() {
+	codec.MustRegister("obiwan.admin.ScrapeChunk", ScrapeChunk{})
+	codec.MustRegister("obiwan.admin.AlertChunk", AlertChunk{})
+}
+
+// ErrNoFleet is returned by the fleet endpoints of a site that runs no
+// collector.
+var ErrNoFleet = errors.New("admin: no fleet collector at this site")
+
+// FleetSource is what a collector exposes through the admin service. It
+// lives here (not in the fleet package) so the admin service can serve
+// fleet state without importing its producer.
+type FleetSource interface {
+	// FleetSnapshot returns the aggregated fleet view. With refresh set
+	// the source scrapes its peers first; otherwise it serves the view
+	// assembled by the most recent scrape.
+	FleetSnapshot(refresh bool) (*telemetry.FleetSnapshot, error)
+	// FleetAlerts returns the watchdog's retained alerts, oldest first.
+	FleetAlerts() []telemetry.Alert
+}
+
+// SetFleet installs the site's fleet collector. Must be called before
+// the service is exported (the field is read concurrently afterwards).
+func (s *Service) SetFleet(src FleetSource) { s.fleet = src }
+
+// Scrape returns one federation chunk: metrics, the topK hottest object
+// profiles (0: server default of 16), and up to maxSpans spans finished
+// since cursor (0: server default of 256). With telemetry off the chunk
+// is empty but the call succeeds, so a collector can tell "telemetry
+// disabled" apart from "site unreachable".
+func (s *Service) Scrape(cursor uint64, maxSpans uint64, topK uint64) *ScrapeChunk {
+	if maxSpans == 0 {
+		maxSpans = 256
+	}
+	if topK == 0 {
+		topK = 16
+	}
+	spans, next, missed := s.tel.SpansSince(cursor, int(maxSpans))
+	return &ScrapeChunk{
+		Site:       s.name,
+		TakenAtNS:  s.tel.Now().UnixNano(),
+		NextCursor: next,
+		Missed:     missed,
+		Metrics:    s.tel.MetricsSnapshot(),
+		Profile:    s.tel.ProfileSnapshot(int(topK)),
+		Spans:      spans,
+	}
+}
+
+// Fleet returns the aggregated fleet snapshot from this site's
+// collector (ErrNoFleet when it runs none). refresh forces a fresh
+// scrape of every peer before answering.
+func (s *Service) Fleet(refresh bool) (*telemetry.FleetSnapshot, error) {
+	if s.fleet == nil {
+		return nil, ErrNoFleet
+	}
+	return s.fleet.FleetSnapshot(refresh)
+}
+
+// FleetAlerts returns the fleet watchdog's retained alerts.
+func (s *Service) FleetAlerts() (*AlertChunk, error) {
+	if s.fleet == nil {
+		return nil, ErrNoFleet
+	}
+	return &AlertChunk{
+		Site:      s.name,
+		TakenAtNS: s.tel.Now().UnixNano(),
+		Alerts:    s.fleet.FleetAlerts(),
+	}, nil
+}
+
+// Scrape fetches one federation chunk from the remote site.
+func (c *Client) Scrape(cursor uint64, maxSpans uint64, topK uint64) (*ScrapeChunk, error) {
+	res, err := c.call("Scrape", cursor, maxSpans, topK)
+	if err != nil {
+		return nil, err
+	}
+	chunk, ok := res[0].(*ScrapeChunk)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return chunk, nil
+}
+
+// Fleet fetches the remote site's aggregated fleet snapshot.
+func (c *Client) Fleet(refresh bool) (*telemetry.FleetSnapshot, error) {
+	res, err := c.call("Fleet", refresh)
+	if err != nil {
+		return nil, err
+	}
+	snap, ok := res[0].(*telemetry.FleetSnapshot)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return snap, nil
+}
+
+// FleetAlerts fetches the remote site's watchdog alerts.
+func (c *Client) FleetAlerts() (*AlertChunk, error) {
+	res, err := c.call("FleetAlerts")
+	if err != nil {
+		return nil, err
+	}
+	chunk, ok := res[0].(*AlertChunk)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return chunk, nil
+}

@@ -16,6 +16,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"obiwan/internal/heap"
 	"obiwan/internal/netsim"
@@ -69,6 +70,12 @@ type Config struct {
 	// workload: chain length demanded, head edits synced.
 	FailoverChain int
 	FailoverPuts  int
+
+	// FleetSeed seeds the capacity-curve sweep worlds; FleetSizes are the
+	// leaf counts swept; FleetDuration is each run's simulated op phase.
+	FleetSeed     int64
+	FleetSizes    []int
+	FleetDuration time.Duration
 }
 
 // DefaultConfig returns the paper-scale parameters on the calibrated
@@ -86,6 +93,10 @@ func DefaultConfig() Config {
 		FailoverSeeds: []int64{11, 12, 13, 14, 15},
 		FailoverChain: 50,
 		FailoverPuts:  30,
+
+		FleetSeed:     7,
+		FleetSizes:    []int{50, 200, 500, 1000},
+		FleetDuration: 8 * time.Second,
 	}
 }
 
@@ -104,6 +115,10 @@ func QuickConfig() Config {
 		FailoverSeeds: []int64{11, 12},
 		FailoverChain: 12,
 		FailoverPuts:  6,
+
+		FleetSeed:     7,
+		FleetSizes:    []int{10, 25},
+		FleetDuration: 4 * time.Second,
 	}
 }
 
@@ -130,6 +145,10 @@ type Point struct {
 	BytesSent uint64
 	// ProxyPairs counts proxy-ins exported at the master during the point.
 	ProxyPairs uint64
+	// Value is the y-figure of series whose unit fits none of the fields
+	// above (fleet staleness counts, alert counts, federated quantiles).
+	// omitempty keeps older baselines (BENCH_failover.json) byte-stable.
+	Value float64 `json:",omitempty"`
 }
 
 // env is one fresh two-site deployment.

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"obiwan/internal/swarm"
+)
+
+// The fleet experiment sweeps the swarm's churn and flash-crowd scenarios
+// across leaf counts (DefaultConfig: 50, 200, 500, 1000) in observatory
+// mode: every leaf carries a virtual-clocked telemetry hub and the hub's
+// fleet.Collector — not the scenario's own assertions — measures staleness
+// and convergence by federating the roster's metrics (see
+// swarm.FleetObservation). Everything runs on the virtual clock, so the
+// checked-in BENCH_fleet.json baseline is a deterministic function of
+// Config.FleetSeed; drift in it is a real capacity change, not noise.
+
+// RunFleet produces the capacity curves: for each scenario and leaf count,
+// one point per measured series.
+//
+//	<scenario>/ops        simulated cost of the run: TotalMS is virtual
+//	                      milliseconds simulated, PerOpUS virtual
+//	                      microseconds per fleet op, RMICalls/BytesSent the
+//	                      collector's federated traffic totals
+//	<scenario>/stale-peak       Value: stale replicas fleet-wide right
+//	                            after the op phase (staleness high-water)
+//	<scenario>/stale-converged  Value: stale replicas after every survivor
+//	                            ran its refresh round (must reach 0 — the
+//	                            collector's convergence proof)
+//	<scenario>/rmi-p99us        Value: federated p99 of rmi.call.latency_ns
+//	                            in virtual microseconds
+//	<scenario>/alerts           Value: SLO watchdog alerts fired
+func RunFleet(cfg Config) ([]Point, error) {
+	if len(cfg.FleetSizes) == 0 {
+		return nil, fmt.Errorf("bench: no fleet sizes configured")
+	}
+	scenarios := []struct {
+		name string
+		run  func(swarm.Options) (*swarm.Report, []string, error)
+	}{
+		{"churn", swarm.Churn},
+		{"flash-crowd", swarm.FlashCrowd},
+	}
+	var points []Point
+	for _, sc := range scenarios {
+		for _, sites := range cfg.FleetSizes {
+			o := swarm.Defaults(cfg.FleetSeed)
+			o.Sites = sites
+			o.Duration = cfg.FleetDuration
+			o.Observe = true
+			report, _, err := sc.run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fleet %s sites=%d: %w", sc.name, sites, err)
+			}
+			obs := report.Fleet
+			if obs == nil {
+				return nil, fmt.Errorf("fleet %s sites=%d: no collector observation in report", sc.name, sites)
+			}
+			pt := func(series string) Point {
+				return Point{Experiment: "fleet", Series: sc.name + "/" + series,
+					Size: sites, X: float64(sites)}
+			}
+			ops := pt("ops")
+			ops.TotalMS = report.SimSeconds * 1e3
+			if report.Ops > 0 {
+				ops.PerOpUS = report.SimSeconds * float64(time.Second/time.Microsecond) / float64(report.Ops)
+			}
+			ops.RMICalls = obs.Converged.RMICalls
+			ops.BytesSent = obs.Converged.BytesSent
+			stalePeak := pt("stale-peak")
+			stalePeak.Value = float64(obs.AfterOps.StaleReplicas)
+			staleConv := pt("stale-converged")
+			staleConv.Value = float64(obs.Converged.StaleReplicas)
+			p99 := pt("rmi-p99us")
+			p99.Value = obs.Converged.RMIP99US
+			alerts := pt("alerts")
+			alerts.Value = float64(obs.Alerts)
+			points = append(points, ops, stalePeak, staleConv, p99, alerts)
+		}
+	}
+	return points, nil
+}

@@ -308,18 +308,18 @@ func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 
 // WritePoints renders points as an aligned table.
 func WritePoints(w io.Writer, points []Point) {
-	t := stats.NewTable("experiment", "series", "x", "total_ms", "per_op_us", "rmi_calls", "bytes", "proxy_pairs")
+	t := stats.NewTable("experiment", "series", "x", "total_ms", "per_op_us", "rmi_calls", "bytes", "proxy_pairs", "value")
 	for _, p := range points {
-		t.AddRow(p.Experiment, p.Series, p.X, p.TotalMS, p.PerOpUS, p.RMICalls, p.BytesSent, p.ProxyPairs)
+		t.AddRow(p.Experiment, p.Series, p.X, p.TotalMS, p.PerOpUS, p.RMICalls, p.BytesSent, p.ProxyPairs, p.Value)
 	}
 	_, _ = t.WriteTo(w)
 }
 
 // WriteCSV renders points as CSV.
 func WriteCSV(w io.Writer, points []Point) {
-	t := stats.NewTable("experiment", "series", "size", "step", "x", "total_ms", "per_op_us", "rmi_calls", "bytes", "proxy_pairs")
+	t := stats.NewTable("experiment", "series", "size", "step", "x", "total_ms", "per_op_us", "rmi_calls", "bytes", "proxy_pairs", "value")
 	for _, p := range points {
-		t.AddRow(p.Experiment, p.Series, p.Size, p.Step, p.X, p.TotalMS, p.PerOpUS, p.RMICalls, p.BytesSent, p.ProxyPairs)
+		t.AddRow(p.Experiment, p.Series, p.Size, p.Step, p.X, p.TotalMS, p.PerOpUS, p.RMICalls, p.BytesSent, p.ProxyPairs, p.Value)
 	}
 	_, _ = io.WriteString(w, t.CSV())
 }

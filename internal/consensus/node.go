@@ -29,6 +29,7 @@ import (
 
 	"obiwan/internal/codec"
 	"obiwan/internal/netsim"
+	"obiwan/internal/telemetry"
 )
 
 // Protocol errors.
@@ -135,6 +136,10 @@ type Config struct {
 	// Seed makes the randomized election timeouts deterministic per
 	// member (mixed with ID), which the virtual-clock suites rely on.
 	Seed int64
+	// Metrics receives protocol counters (elections, heartbeats), the
+	// current-term gauge, and the election-latency histogram. Optional;
+	// nil (telemetry disabled) costs one pointer nil-check per event.
+	Metrics *telemetry.Metrics
 
 	// ElectionTimeout is the base follower patience; actual timeouts are
 	// uniform in [ElectionTimeout, 2×ElectionTimeout). Default 200ms.
@@ -175,6 +180,15 @@ type Node struct {
 	quorum  int
 	applyMu sync.Mutex // serializes Apply across commit-advancing paths
 
+	// Pre-resolved instruments (nil no-ops when telemetry is off). All
+	// operations are atomic, so they are safe to touch with n.mu held.
+	met struct {
+		elections  *telemetry.Counter
+		heartbeats *telemetry.Counter
+		term       *telemetry.Gauge
+		electionNS *telemetry.Histogram
+	}
+
 	mu               sync.Mutex
 	cond             *netsim.Cond // all waits: submit, WaitLeader, peer senders
 	rng              *rand.Rand
@@ -185,6 +199,7 @@ type Node struct {
 	commit           uint64
 	applied          uint64
 	electionDeadline time.Time
+	candidacySince   time.Time // first candidacy of the current leaderless stretch
 	nextBeat         time.Time
 	votes            map[string]bool
 	nextIndex        map[string]uint64
@@ -241,6 +256,10 @@ func New(cfg Config) (*Node, error) {
 		closed:     make(chan struct{}),
 	}
 	n.cond = netsim.NewCond(n.clock, &n.mu)
+	n.met.elections = cfg.Metrics.Counter("consensus.elections")
+	n.met.heartbeats = cfg.Metrics.Counter("consensus.heartbeats")
+	n.met.term = cfg.Metrics.Gauge("consensus.term")
+	n.met.electionNS = cfg.Metrics.Histogram("consensus.election_latency_ns")
 	// Per-member deterministic timeouts: mix the ID into the seed so
 	// members sharing a scenario seed still desynchronize their timers.
 	h := int64(0)
@@ -249,6 +268,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.rng = rand.New(rand.NewSource(cfg.Seed ^ h))
 	n.term, n.votedFor = n.store.State()
+	n.met.term.Set(int64(n.term))
 	n.electionDeadline = n.clock.Now().Add(n.randTimeoutLocked())
 	n.clock.Go(n.run)
 	return n, nil
@@ -462,6 +482,13 @@ func (n *Node) startElectionLocked(now time.Time) {
 	}
 	n.votes = map[string]bool{n.cfg.ID: true}
 	n.electionDeadline = now.Add(n.randTimeoutLocked())
+	n.met.elections.Inc()
+	n.met.term.Set(int64(n.term))
+	if n.candidacySince.IsZero() {
+		// First candidacy of this leaderless stretch: election latency
+		// measures from here to a win, spanning re-elections.
+		n.candidacySince = now
+	}
 	term := n.term
 	lastIdx := n.store.LastIndex()
 	lastTerm := n.store.TermAt(lastIdx)
@@ -524,6 +551,10 @@ func (n *Node) maybeWinLocked(term uint64) {
 		n.leaseUntil = now.Add(365 * 24 * time.Hour)
 	}
 	n.maybeCommitLocked()
+	if !n.candidacySince.IsZero() {
+		n.met.electionNS.ObserveDuration(now.Sub(n.candidacySince))
+		n.candidacySince = time.Time{}
+	}
 	n.event(Event{Kind: "consensus.elected", Term: term, Leader: n.cfg.ID})
 	for _, p := range n.peers {
 		peer := p
@@ -538,9 +569,13 @@ func (n *Node) stepDownLocked(term uint64, newLeader string) {
 		n.term = term
 		n.votedFor = ""
 		_ = n.store.SetState(n.term, n.votedFor)
+		n.met.term.Set(int64(n.term))
 	}
 	n.role = follower
 	n.leader = newLeader
+	if newLeader != "" {
+		n.candidacySince = time.Time{} // someone leads: the stretch is over
+	}
 	n.electionDeadline = n.clock.Now().Add(n.randTimeoutLocked())
 	if wasLeader {
 		n.event(Event{Kind: "consensus.stepdown", Term: n.term, Leader: newLeader, Detail: n.cfg.ID})
@@ -575,6 +610,7 @@ func (n *Node) runPeer(peer string, term uint64) {
 		}
 		sentAt := n.clock.Now()
 		n.lastSend[peer] = sentAt
+		n.met.heartbeats.Inc()
 		n.mu.Unlock()
 
 		res, err := n.call(peer, "AppendEntries", req)
@@ -793,6 +829,7 @@ func (n *Node) HandleAppendEntries(req *AppendRequest) (*AppendReply, error) {
 	}
 	if n.leader != req.Leader {
 		n.leader = req.Leader
+		n.candidacySince = time.Time{}
 		n.cond.Broadcast() // WaitLeader learns the leader from heartbeats
 	}
 	n.electionDeadline = n.clock.Now().Add(n.randTimeoutLocked())

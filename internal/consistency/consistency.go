@@ -23,6 +23,7 @@ package consistency
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -115,8 +116,10 @@ func (p *Invalidation) ReplicaCreated(oid objmodel.OID, site string, _ uint64) {
 	holders[site] = true
 }
 
-// MasterUpdated notifies every recorded holder. Sites whose notification
-// fails stay registered and will be notified again on the next update.
+// MasterUpdated notifies every recorded holder, in site-name order so the
+// fan-out is deterministic (virtual-clock runs replay bit-identically).
+// Sites whose notification fails stay registered and will be notified
+// again on the next update.
 func (p *Invalidation) MasterUpdated(oid objmodel.OID, version uint64) {
 	p.mu.Lock()
 	sites := make([]string, 0, len(p.holders[oid]))
@@ -124,6 +127,7 @@ func (p *Invalidation) MasterUpdated(oid objmodel.OID, version uint64) {
 		sites = append(sites, s)
 	}
 	p.mu.Unlock()
+	sort.Strings(sites)
 	for _, s := range sites {
 		// Best-effort: failures are expected while holders are offline.
 		_ = p.notify(s, oid, version)
@@ -196,13 +200,24 @@ func (p *Tentative) MasterUpdated(objmodel.OID, uint64) {}
 // site's invalidation sink marks entries; the application (or the site's
 // auto-refresh) queries and clears them.
 type StaleSet struct {
-	mu    sync.Mutex
-	stale map[objmodel.OID]uint64 // oid → newest version heard of
+	mu      sync.Mutex
+	stale   map[objmodel.OID]uint64 // oid → newest version heard of
+	observe func(int)               // nil unless SetObserver was called
 }
 
 // NewStaleSet returns an empty ledger.
 func NewStaleSet() *StaleSet {
 	return &StaleSet{stale: make(map[objmodel.OID]uint64)}
+}
+
+// SetObserver installs fn, called with the ledger size after every
+// size-changing mutation — the bridge a telemetry staleness gauge rides
+// without this package importing telemetry. Install before concurrent
+// use; fn runs under the ledger lock and must not call back in.
+func (s *StaleSet) SetObserver(fn func(int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observe = fn
 }
 
 // MarkStale records that oid has a newer master version.
@@ -211,6 +226,9 @@ func (s *StaleSet) MarkStale(oid objmodel.OID, version uint64) {
 	defer s.mu.Unlock()
 	if version > s.stale[oid] {
 		s.stale[oid] = version
+		if s.observe != nil {
+			s.observe(len(s.stale))
+		}
 	}
 }
 
@@ -227,10 +245,24 @@ func (s *StaleSet) IsStale(oid objmodel.OID) (uint64, bool) {
 func (s *StaleSet) Clear(oid objmodel.OID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.stale[oid]; !ok {
+		return
+	}
 	delete(s.stale, oid)
+	if s.observe != nil {
+		s.observe(len(s.stale))
+	}
 }
 
-// Stale returns all currently stale OIDs.
+// Len returns the number of currently stale entries.
+func (s *StaleSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stale)
+}
+
+// Stale returns all currently stale OIDs, sorted, so refresh rounds that
+// walk the ledger issue their RMIs in a deterministic order.
 func (s *StaleSet) Stale() []objmodel.OID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -238,6 +270,7 @@ func (s *StaleSet) Stale() []objmodel.OID {
 	for oid := range s.stale {
 		out = append(out, oid)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

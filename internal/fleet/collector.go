@@ -1,0 +1,299 @@
+// Package fleet is the cross-site observability layer: a Collector
+// scrapes the admin service of N peer sites over plain RMI, folds their
+// telemetry into one order-independent aggregate (metrics, cross-site
+// top-K hot objects), and runs a declarative SLO watchdog over the
+// federated stream. The paper's incremental-replication argument is
+// about fleet behaviour — where demand traffic and mobility hot-spots
+// land across many sites — and this package is where that behaviour
+// becomes one observable object instead of N per-site snapshots.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"obiwan/internal/admin"
+	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// defaultTopK bounds the aggregated hot-object ranking.
+const defaultTopK = 16
+
+// maxAlerts bounds the watchdog's retained alert backlog; older alerts
+// fall off the front.
+const maxAlerts = 256
+
+// peerState is the collector's per-site memory: the scrape cursor, the
+// last successful observation, and the counter values the rate rules
+// difference against.
+type peerState struct {
+	cursor  uint64
+	missed  uint64
+	errStr  string
+	takenAt int64
+	scrapes uint64
+	metrics *telemetry.MetricsSnapshot
+	profile *telemetry.ProfileSnapshot
+	// prev holds the previous scrape's counter values for the metrics
+	// rate rules watch, so churn is a per-interval delta, not a total.
+	prev map[string]uint64
+}
+
+// Collector scrapes a fixed set of peer sites and serves the aggregated
+// fleet view. Scrapes visit peers in sorted address order and fold with
+// the telemetry merge layer, so one scrape of a quiesced fleet is a
+// deterministic function of fleet state. Safe for concurrent use.
+type Collector struct {
+	rt       *rmi.Runtime
+	topK     int
+	maxSpans uint64
+	timeout  time.Duration
+	rules    []Rule
+	flight   *telemetry.FlightRecorder
+
+	mu     sync.Mutex
+	peers  []transport.Addr
+	states map[transport.Addr]*peerState
+	last   *telemetry.FleetSnapshot
+	alerts []telemetry.Alert
+	total  uint64 // completed scrape rounds
+
+	loopStop chan struct{}
+}
+
+// Option configures a Collector.
+type Option func(*c0)
+
+type c0 struct {
+	topK     int
+	maxSpans uint64
+	timeout  time.Duration
+	rules    []Rule
+	flight   *telemetry.FlightRecorder
+}
+
+// WithTopK sets the aggregated hot-object ranking depth (default 16).
+func WithTopK(k int) Option { return func(o *c0) { o.topK = k } }
+
+// WithMaxSpans caps the spans pulled per site per scrape (default 256).
+func WithMaxSpans(n uint64) Option { return func(o *c0) { o.maxSpans = n } }
+
+// WithScrapeTimeout bounds each per-site scrape call (default: the
+// runtime's call timeout).
+func WithScrapeTimeout(d time.Duration) Option { return func(o *c0) { o.timeout = d } }
+
+// WithRules installs the watchdog rule set (default DefaultRules).
+func WithRules(rules []Rule) Option { return func(o *c0) { o.rules = rules } }
+
+// WithFlight routes watchdog alerts into a flight recorder (typically
+// the collector site's own), so an SLO breach is preserved next to the
+// protocol events that caused it.
+func WithFlight(f *telemetry.FlightRecorder) Option { return func(o *c0) { o.flight = f } }
+
+// New builds a collector that scrapes peers through rt. The peer list
+// is copied and sorted; duplicates are dropped.
+func New(rt *rmi.Runtime, peers []transport.Addr, opts ...Option) *Collector {
+	cfg := c0{topK: defaultTopK, rules: DefaultRules()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Collector{
+		rt:       rt,
+		topK:     cfg.topK,
+		maxSpans: cfg.maxSpans,
+		timeout:  cfg.timeout,
+		rules:    cfg.rules,
+		flight:   cfg.flight,
+		states:   make(map[transport.Addr]*peerState),
+	}
+	seen := make(map[transport.Addr]bool, len(peers))
+	for _, p := range peers {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		c.peers = append(c.peers, p)
+		c.states[p] = &peerState{}
+	}
+	sort.Slice(c.peers, func(i, j int) bool { return c.peers[i] < c.peers[j] })
+	return c
+}
+
+// Peers returns the scrape set, sorted.
+func (c *Collector) Peers() []transport.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.Addr(nil), c.peers...)
+}
+
+// ScrapeOnce pulls every peer (sorted order, cursor-resumed), folds the
+// observations into a fresh fleet snapshot, evaluates the watchdog
+// rules, and returns the aggregate. An unreachable peer keeps its last
+// observation and is marked with the scrape error — the fleet view
+// degrades to slightly stale instead of losing the site.
+func (c *Collector) ScrapeOnce() *telemetry.FleetSnapshot {
+	c.mu.Lock()
+	peers := append([]transport.Addr(nil), c.peers...)
+	c.mu.Unlock()
+
+	for _, peer := range peers {
+		client := admin.NewClient(c.rt, admin.Ref(peer))
+		if c.timeout > 0 {
+			client = client.WithTimeout(c.timeout)
+		}
+		c.mu.Lock()
+		cursor := c.states[peer].cursor
+		c.mu.Unlock()
+		chunk, err := client.Scrape(cursor, c.maxSpans, uint64(c.topK))
+		c.mu.Lock()
+		st := c.states[peer]
+		if err != nil {
+			st.errStr = err.Error()
+			c.mu.Unlock()
+			continue
+		}
+		st.errStr = ""
+		st.cursor = chunk.NextCursor
+		st.missed += chunk.Missed
+		st.takenAt = chunk.TakenAtNS
+		st.metrics = chunk.Metrics
+		st.profile = chunk.Profile
+		st.scrapes++
+		c.mu.Unlock()
+	}
+
+	now := c.rt.Clock().Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	snap := &telemetry.FleetSnapshot{TakenAtNS: now, Scrapes: c.total}
+	merged := &telemetry.MetricsSnapshot{}
+	profile := &telemetry.ProfileSnapshot{}
+	for _, peer := range c.peers {
+		st := c.states[peer]
+		snap.Sites = append(snap.Sites, telemetry.SiteObservation{
+			Site:      string(peer),
+			TakenAtNS: st.takenAt,
+			Cursor:    st.cursor,
+			Missed:    st.missed,
+			Err:       st.errStr,
+			Metrics:   st.metrics,
+			Profile:   st.profile,
+		})
+		merged = merged.Merge(st.metrics)
+		// Fold untruncated: cutting to top-K at each pairwise step would
+		// make the ranking depend on fold order (an object just below the
+		// cut can be promoted by a later site's contribution).
+		profile = profile.Merge(st.profile, 0)
+	}
+	// One final re-rank-and-truncate now that every site has contributed.
+	profile = profile.Merge(nil, c.topK)
+	merged.Site, merged.TakenAtNS = "fleet", now
+	profile.Site, profile.TakenAtNS = "fleet", now
+	snap.Metrics, snap.Profile = merged, profile
+	c.last = snap
+	c.evaluateLocked(snap, now)
+	return snap
+}
+
+// evaluateLocked runs the watchdog rules over the fresh snapshot,
+// retains the alerts, and preserves each in the flight recorder.
+func (c *Collector) evaluateLocked(snap *telemetry.FleetSnapshot, nowNS int64) {
+	fired := evaluate(c.rules, snap, c.states, nowNS)
+	for _, a := range fired {
+		c.alerts = append(c.alerts, a)
+		if c.flight != nil {
+			c.flight.Record(telemetry.FlightEvent{
+				Kind: "slo." + a.Rule,
+				Detail: fmt.Sprintf("site=%s metric=%s value=%.0f threshold=%.0f %s",
+					a.Site, a.Metric, a.Value, a.Threshold, a.Detail),
+			})
+		}
+	}
+	if len(c.alerts) > maxAlerts {
+		c.alerts = append([]telemetry.Alert(nil), c.alerts[len(c.alerts)-maxAlerts:]...)
+	}
+	// Roll the per-site counter baselines forward for the rate rules.
+	for _, peer := range c.peers {
+		st := c.states[peer]
+		if st.metrics == nil {
+			continue
+		}
+		if st.prev == nil {
+			st.prev = make(map[string]uint64)
+		}
+		for _, r := range c.rules {
+			if r.Kind != RuleRate {
+				continue
+			}
+			st.prev[r.Metric] = st.metrics.Get(r.Metric)
+		}
+	}
+}
+
+// FleetSnapshot implements admin.FleetSource: the latest aggregate,
+// scraping first when refresh is set or nothing has been scraped yet.
+func (c *Collector) FleetSnapshot(refresh bool) (*telemetry.FleetSnapshot, error) {
+	c.mu.Lock()
+	last := c.last
+	c.mu.Unlock()
+	if refresh || last == nil {
+		return c.ScrapeOnce(), nil
+	}
+	return last, nil
+}
+
+// FleetAlerts implements admin.FleetSource: the retained alert backlog,
+// oldest first.
+func (c *Collector) FleetAlerts() []telemetry.Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]telemetry.Alert(nil), c.alerts...)
+}
+
+// Scrapes returns how many scrape rounds have completed.
+func (c *Collector) Scrapes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Start launches the background scrape loop on the runtime's clock:
+// one ScrapeOnce every interval until Stop. Start is idempotent while
+// running.
+func (c *Collector) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c.mu.Lock()
+	if c.loopStop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.loopStop = stop
+	c.mu.Unlock()
+	clock := c.rt.Clock()
+	clock.Go(func() {
+		for {
+			if !clock.SleepUntilCancel(clock.Now().Add(interval), stop) {
+				return
+			}
+			c.ScrapeOnce()
+		}
+	})
+}
+
+// Stop halts the background loop (no-op when not started).
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	if c.loopStop != nil {
+		close(c.loopStop)
+		c.loopStop = nil
+	}
+	c.mu.Unlock()
+}

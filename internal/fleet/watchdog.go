@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"obiwan/internal/telemetry"
+	"obiwan/internal/transport"
+)
+
+// RuleKind selects how a watchdog rule reads the federated stream.
+type RuleKind int
+
+const (
+	// RuleP99 fires when a histogram's p99 exceeds Threshold.
+	RuleP99 RuleKind = iota
+	// RuleLag fires when counter Metric exceeds counter Minus by more
+	// than Threshold — e.g. tentative updates outrunning the commit
+	// frontier.
+	RuleLag
+	// RuleRate fires when counter Metric grew by more than Threshold
+	// since the previous scrape — e.g. election churn.
+	RuleRate
+	// RuleGauge fires when a gauge exceeds Threshold — e.g. stale
+	// replicas pending refresh.
+	RuleGauge
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case RuleP99:
+		return "p99"
+	case RuleLag:
+		return "lag"
+	case RuleRate:
+		return "rate"
+	case RuleGauge:
+		return "gauge"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is one declarative SLO: a named condition over the federated
+// metrics stream. Rules are evaluated per scraped site (so an alert
+// names the offender) and, when FleetWide is set, once more over the
+// merged fleet snapshot.
+type Rule struct {
+	// Name identifies the rule in alerts and flight events
+	// ("slo.<name>").
+	Name string
+	Kind RuleKind
+	// Metric is the instrument the rule watches; Minus is the
+	// subtracted counter for RuleLag.
+	Metric string
+	Minus  string
+	// Threshold is the firing bound, in the metric's own unit
+	// (nanoseconds for *_ns histograms).
+	Threshold float64
+	// FleetWide also evaluates the rule over the merged snapshot,
+	// alerting as site "fleet".
+	FleetWide bool
+}
+
+// DefaultRules is the canonical SLO set: RMI tail latency, weakly-
+// connected commit-frontier lag, consensus election churn, and replica
+// staleness.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "rmi-latency", Kind: RuleP99, Metric: "rmi.call.latency_ns",
+			Threshold: float64(250 * time.Millisecond), FleetWide: true},
+		{Name: "commit-lag", Kind: RuleLag, Metric: "eventual.tentative",
+			Minus: "eventual.committed", Threshold: 256},
+		{Name: "election-churn", Kind: RuleRate, Metric: "consensus.elections", Threshold: 3},
+		{Name: "replica-staleness", Kind: RuleGauge, Metric: "site.stale.replicas", Threshold: 64},
+	}
+}
+
+// evaluate applies each rule to every per-site observation (and the
+// merged snapshot for fleet-wide rules), returning the alerts that
+// fired, in rule order then site order — deterministic for a given
+// snapshot.
+func evaluate(rules []Rule, snap *telemetry.FleetSnapshot, states map[transport.Addr]*peerState, nowNS int64) []telemetry.Alert {
+	var out []telemetry.Alert
+	for _, r := range rules {
+		for _, obs := range snap.Sites {
+			if obs.Metrics == nil {
+				continue
+			}
+			var prev map[string]uint64
+			if st := states[transport.Addr(obs.Site)]; st != nil {
+				prev = st.prev
+			}
+			if a, fired := applyRule(r, obs.Metrics, prev, obs.Site, nowNS); fired {
+				out = append(out, a)
+			}
+		}
+		if r.FleetWide && snap.Metrics != nil {
+			// The merged snapshot has no previous-scrape baseline, so
+			// rate rules stay per-site.
+			if r.Kind != RuleRate {
+				if a, fired := applyRule(r, snap.Metrics, nil, "fleet", nowNS); fired {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyRule evaluates one rule against one snapshot, reporting whether
+// it fired.
+func applyRule(r Rule, m *telemetry.MetricsSnapshot, prev map[string]uint64, site string, nowNS int64) (telemetry.Alert, bool) {
+	var value float64
+	var detail string
+	switch r.Kind {
+	case RuleP99:
+		h := m.GetHistogram(r.Metric)
+		if h.Count == 0 {
+			return telemetry.Alert{}, false
+		}
+		value = float64(h.P99)
+		detail = fmt.Sprintf("count=%d max=%d", h.Count, h.Max)
+	case RuleLag:
+		lead, trail := m.Get(r.Metric), m.Get(r.Minus)
+		if lead <= trail {
+			return telemetry.Alert{}, false
+		}
+		value = float64(lead - trail)
+		detail = fmt.Sprintf("%s=%d %s=%d", r.Metric, lead, r.Minus, trail)
+	case RuleRate:
+		if prev == nil {
+			// First scrape of this site: no baseline yet, so the total
+			// would masquerade as a rate. Skip; the next scrape measures.
+			return telemetry.Alert{}, false
+		}
+		cur := m.Get(r.Metric)
+		base := prev[r.Metric]
+		if cur <= base {
+			return telemetry.Alert{}, false
+		}
+		value = float64(cur - base)
+		detail = fmt.Sprintf("total=%d", cur)
+	case RuleGauge:
+		for _, g := range m.Gauges {
+			if g.Name == r.Metric {
+				value = float64(g.Value)
+				break
+			}
+		}
+	default:
+		return telemetry.Alert{}, false
+	}
+	if value <= r.Threshold {
+		return telemetry.Alert{}, false
+	}
+	return telemetry.Alert{
+		Rule:      r.Name,
+		Site:      site,
+		Metric:    r.Metric,
+		Value:     value,
+		Threshold: r.Threshold,
+		AtNS:      nowNS,
+		Detail:    detail,
+	}, true
+}

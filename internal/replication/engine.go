@@ -957,7 +957,10 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
-	start := time.Now()
+	// Runtime clock, not wall clock: see ProxyOut.demand — refresh costs land
+	// in the profiler and must replay bit-identically under a virtual clock.
+	clk := e.rt.Clock()
+	start := clk.Now()
 	span := e.startSpan(sc, "refresh")
 	span.Annotate("oid", fmt.Sprint(entry.OID))
 	defer func() {
@@ -983,7 +986,7 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 	}
 	e.emit(Event{
 		Kind: EventReplicaRefreshed, OID: entry.OID, Objects: len(payload.Objects),
-		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: time.Since(start),
+		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: clk.Now().Sub(start),
 	})
 	return nil
 }

@@ -2,7 +2,6 @@ package replication
 
 import (
 	"fmt"
-	"time"
 
 	"obiwan/internal/heap"
 	"obiwan/internal/invoke"
@@ -148,7 +147,12 @@ func (p *ProxyOut) ResolveFault() (any, objmodel.RemoteInvoker, error) {
 // causal origin), while ReplicateTraced passes the caller's context so
 // programmatic demands nest under application spans.
 func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv objmodel.RemoteInvoker, err error) {
-	start := time.Now()
+	// Elapsed rides the runtime's clock, not the wall clock: under a virtual
+	// clock the measured fault cost must be a pure function of the simulation
+	// (profiler snapshots travel on federation scrape replies, so a wall
+	// duration would perturb frame sizes and break replay determinism).
+	clk := p.eng.rt.Clock()
+	start := clk.Now()
 	span := p.eng.startSpan(sc, "fault")
 	span.Annotate("oid", fmt.Sprint(p.oid))
 	defer func() {
@@ -161,7 +165,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 		if entry, ok := p.eng.heap.Get(p.oid); ok {
 			p.eng.gc.FaultServedFromHeap()
 			span.Annotate("from_heap", "true")
-			p.eng.emit(Event{Kind: EventFaultResolved, OID: p.oid, FromHeap: true, Elapsed: time.Since(start)})
+			p.eng.emit(Event{Kind: EventFaultResolved, OID: p.oid, FromHeap: true, Elapsed: clk.Now().Sub(start)})
 			return entry.Obj, p.remoteForEntry(entry), nil
 		}
 	}
@@ -179,7 +183,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 	}
 	p.eng.emit(Event{
 		Kind: EventFaultResolved, OID: p.oid, Objects: len(payload.Objects),
-		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: time.Since(start),
+		Bytes: payloadBytes(payload), Clustered: payload.Clustered, Elapsed: clk.Now().Sub(start),
 	})
 	return root, &remoteInvoker{eng: p.eng, provider: winner, oid: p.oid}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"obiwan/internal/eventual"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 	"obiwan/internal/txn"
 )
@@ -80,13 +81,33 @@ func antiEntropyRef(peer string) rmi.RemoteRef {
 // record the peer's commit frontiers for log truncation. The calls ride
 // the runtime's retry/dedupe, so a session interrupted by the network can
 // simply be run again. Returns what this side absorbed.
+// The whole session runs under one root span ("eventual.sync"), with
+// the Summary and Exchange calls traced beneath it, so sync rounds show
+// up in cross-site trace trees alongside demand and put spans.
 func (s *Site) AntiEntropy(peer string) (*eventual.SyncStats, error) {
 	ev := s.eventual
 	if ev == nil {
 		return nil, ErrNoEventual
 	}
+	span := s.tel.StartRoot("eventual.sync")
+	span.Annotate("peer", peer)
+	stats, err := s.antiEntropySession(span.Context(), peer, ev)
+	if err != nil {
+		span.SetErr(err)
+	} else if stats != nil {
+		span.Annotate("updates", fmt.Sprint(stats.Updates))
+		span.Annotate("commits", fmt.Sprint(stats.Commits))
+		span.Annotate("bases", fmt.Sprint(stats.Bases))
+		span.Annotate("skipped", fmt.Sprint(stats.Skipped))
+	}
+	span.End()
+	return stats, err
+}
+
+// antiEntropySession is the session body, run under sc's trace context.
+func (s *Site) antiEntropySession(sc telemetry.SpanContext, peer string, ev *eventual.Store) (*eventual.SyncStats, error) {
 	ref := antiEntropyRef(peer)
-	out, err := s.rt.Call(ref, "Summary")
+	out, err := s.rt.CallTraced(sc, ref, "Summary")
 	if err != nil {
 		return nil, fmt.Errorf("site: anti-entropy with %s: %w", peer, err)
 	}
@@ -99,7 +120,7 @@ func (s *Site) AntiEntropy(peer string) (*eventual.SyncStats, error) {
 		Summary: *ev.Summary(),
 		Batch:   *ev.BuildBatch(peerSum),
 	}
-	out, err = s.rt.Call(ref, "Exchange", req)
+	out, err = s.rt.CallTraced(sc, ref, "Exchange", req)
 	if err != nil {
 		return nil, fmt.Errorf("site: anti-entropy with %s: %w", peer, err)
 	}

@@ -1,0 +1,322 @@
+package site
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"obiwan/internal/admin"
+	"obiwan/internal/fleet"
+	"obiwan/internal/nameserver"
+	"obiwan/internal/netsim"
+	"obiwan/internal/objmodel"
+	"obiwan/internal/replication"
+	"obiwan/internal/rmi"
+	"obiwan/internal/transport"
+)
+
+// addrs converts site names to transport addresses for WithFleet.
+func addrs(names ...string) []transport.Addr {
+	out := make([]transport.Addr, len(names))
+	for i, n := range names {
+		out[i] = transport.Addr(n)
+	}
+	return out
+}
+
+// fleetWorld builds the canonical observatory deployment: a server and a
+// mobile doing real replication, plus a hub site running the collector
+// over all three.
+func fleetWorld(t *testing.T, hubOpts ...fleet.Option) (w *world, hub, server, mobile *Site) {
+	t.Helper()
+	w = newWorld(t)
+	server = w.site("server")
+	mobile = w.site("mobile")
+	hub = w.site("hub", WithFleet(addrs("server", "mobile", "hub"), hubOpts...))
+
+	master := &note{Text: "fleet"}
+	if err := server.Register(master); err != nil {
+		t.Fatal(err)
+	}
+	d, err := server.Export(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mobile.Engine().RefFromDescriptor(d, replication.DefaultSpec)
+	if _, err := objmodel.Deref[*note](ref); err != nil {
+		t.Fatal(err)
+	}
+	return w, hub, server, mobile
+}
+
+// TestFleetCollectorFederates: one scrape folds every roster site into
+// the aggregate — merged counters are the per-site sums, the breakdown
+// stays visible, and the hub scrapes itself over RMI like any peer.
+func TestFleetCollectorFederates(t *testing.T) {
+	_, hub, _, _ := fleetWorld(t)
+	col := hub.Fleet()
+	if col == nil {
+		t.Fatal("hub built WithFleet has no collector")
+	}
+	snap := col.ScrapeOnce()
+	if len(snap.Sites) != 3 {
+		t.Fatalf("scraped %d sites, want 3: %+v", len(snap.Sites), snap.Sites)
+	}
+	for i, want := range []string{"hub", "mobile", "server"} {
+		if snap.Sites[i].Site != want {
+			t.Fatalf("site %d = %q, want %q (sorted order)", i, snap.Sites[i].Site, want)
+		}
+		if snap.Sites[i].Err != "" {
+			t.Fatalf("site %q scrape error: %s", want, snap.Sites[i].Err)
+		}
+	}
+	var sum uint64
+	for _, obs := range snap.Sites {
+		sum += obs.Metrics.Get("rmi.calls")
+	}
+	if sum == 0 {
+		t.Fatal("no rmi.calls recorded anywhere despite replication traffic")
+	}
+	if got := snap.Metrics.Get("rmi.calls"); got != sum {
+		t.Fatalf("merged rmi.calls = %d, want per-site sum %d", got, sum)
+	}
+	if snap.Profile == nil || len(snap.Profile.Objects) == 0 {
+		t.Fatalf("aggregate profile empty: %+v", snap.Profile)
+	}
+}
+
+// TestFleetUnreachablePeerDegrades: a dead roster entry is reported as a
+// scrape error on its own row; the rest of the fleet still aggregates.
+func TestFleetUnreachablePeerDegrades(t *testing.T) {
+	w := newWorld(t)
+	server := w.site("server")
+	hub := w.site("hub", WithFleet(addrs("server", "ghost")))
+	if err := server.Register(&note{Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	hub.Fleet().ScrapeOnce() // first scrape: server now served one RMI
+	snap := hub.Fleet().ScrapeOnce()
+	byName := map[string]string{}
+	for _, obs := range snap.Sites {
+		byName[obs.Site] = obs.Err
+	}
+	if byName["server"] != "" {
+		t.Fatalf("live peer errored: %s", byName["server"])
+	}
+	if byName["ghost"] == "" {
+		t.Fatal("dead peer reported no scrape error")
+	}
+	if snap.Metrics.Get("rmi.calls.served") == 0 {
+		t.Fatal("live peers no longer aggregated")
+	}
+}
+
+// TestFleetEndpointsOverRMI: any site can ask the hub for the federated
+// view and the watchdog backlog through the well-known admin export —
+// the transport path `obiwan-admin fleet top` / `fleet alerts` uses.
+func TestFleetEndpointsOverRMI(t *testing.T) {
+	// Threshold 0 on the RMI latency p99 makes every site with any
+	// traffic an offender, so the watchdog deterministically fires.
+	_, _, _, mobile := fleetWorld(t, fleet.WithRules([]fleet.Rule{
+		{Name: "any-latency", Kind: fleet.RuleP99, Metric: "rmi.call.latency_ns", FleetWide: true},
+	}))
+	client := admin.NewClient(mobile.Runtime(), AdminRef("hub"))
+	snap, err := client.Fleet(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sites) != 3 || snap.Scrapes == 0 {
+		t.Fatalf("fleet over RMI: %d sites, %d scrapes", len(snap.Sites), snap.Scrapes)
+	}
+	chunk, err := client.FleetAlerts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Alerts) == 0 {
+		t.Fatal("zero-threshold p99 rule fired no alerts")
+	}
+	seen := map[string]bool{}
+	for _, a := range chunk.Alerts {
+		if a.Rule != "any-latency" {
+			t.Fatalf("unexpected rule: %+v", a)
+		}
+		seen[a.Site] = true
+	}
+	if !seen["fleet"] {
+		t.Fatalf("fleet-wide evaluation missing: %+v", chunk.Alerts)
+	}
+
+	// A site with no collector answers the same endpoints with ErrNoFleet
+	// travelling as a remote fault, not a hang or a panic.
+	plainClient := admin.NewClient(mobile.Runtime(), AdminRef("server"))
+	if _, err := plainClient.Fleet(false); err == nil ||
+		!strings.Contains(err.Error(), "no fleet collector") {
+		t.Fatalf("collector-less site: %v", err)
+	}
+}
+
+// TestFleetAlertsReachFlightRecorder: an SLO breach lands in the hub's
+// own flight recorder next to the protocol events that caused it.
+func TestFleetAlertsReachFlightRecorder(t *testing.T) {
+	_, hub, _, _ := fleetWorld(t, fleet.WithRules([]fleet.Rule{
+		{Name: "any-latency", Kind: fleet.RuleP99, Metric: "rmi.call.latency_ns"},
+	}))
+	hub.Fleet().ScrapeOnce()
+	events := hub.Telemetry().Flight().Snapshot()
+	found := false
+	for _, ev := range events {
+		if ev.Kind == "slo.any-latency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slo.any-latency flight event in %d events", len(events))
+	}
+}
+
+// TestFleetScrapeCursorResumes: the scrape endpoint is cursor-based —
+// a second scrape resumes after the spans the first one consumed
+// instead of replaying them.
+func TestFleetScrapeCursorResumes(t *testing.T) {
+	_, _, server, mobile := fleetWorld(t)
+	client := admin.NewClient(mobile.Runtime(), AdminRef("server"))
+	first, err := client.Scrape(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Site != "server" || first.Metrics == nil {
+		t.Fatalf("first chunk: %+v", first)
+	}
+	again, err := client.Scrape(first.NextCursor, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Spans) != 0 {
+		t.Fatalf("cursor-resumed scrape replayed %d spans", len(again.Spans))
+	}
+	// New traffic produces new spans past the held cursor.
+	master := &note{Text: "more"}
+	if err := server.Register(master); err != nil {
+		t.Fatal(err)
+	}
+	d, err := server.Export(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mobile.Engine().RefFromDescriptor(d, replication.DefaultSpec)
+	if _, err := objmodel.Deref[*note](ref); err != nil {
+		t.Fatal(err)
+	}
+	third, err := client.Scrape(again.NextCursor, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third.Spans) == 0 {
+		t.Fatal("fresh traffic produced no spans past the cursor")
+	}
+}
+
+// TestFleetDisabledAllocParity pins the zero-overhead claim for sites
+// that run no collector: the invoke path allocates identically whether
+// or not some other site in the deployment observes the fleet, and a
+// plain site carries no fleet machinery at all.
+func TestFleetDisabledAllocParity(t *testing.T) {
+	measure := func(observed bool) float64 {
+		w := newWorld(t)
+		suffix := fmt.Sprintf("-%v-%p", observed, t)
+		server := w.site("server" + suffix)
+		mobile := w.site("mobile" + suffix)
+		if observed {
+			w.site("hub"+suffix, WithFleet(addrs("server"+suffix, "mobile"+suffix)))
+		}
+		master := &note{Text: "v"}
+		if err := server.Register(master); err != nil {
+			t.Fatal(err)
+		}
+		d, err := server.Export(master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := mobile.Engine().RefFromDescriptor(d, replication.DefaultSpec)
+		replica, err := objmodel.Deref[*note](ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			replica.Write("x")
+			if _, err := ref.Invoke("Read"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := measure(false)
+	observed := measure(true)
+	if plain != observed {
+		t.Fatalf("invoke path allocs drifted under observation: %v vs %v", plain, observed)
+	}
+	w := newWorld(t)
+	s := w.site("alloc-plain")
+	if s.fleet != nil {
+		t.Fatal("plain site carries a fleet collector")
+	}
+}
+
+// benchFleetWorld is newWorld for benchmarks: a nameserver, a server and
+// mobile pair, and (when observed) a hub site collecting over both.
+func benchFleetWorld(b *testing.B, observed bool) (server, mobile *Site) {
+	b.Helper()
+	net := transport.NewMemNetwork(netsim.Loopback)
+	nsrt, err := rmi.NewRuntime(net, "ns")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = nsrt.Close() })
+	if _, _, err := nameserver.Serve(nsrt); err != nil {
+		b.Fatal(err)
+	}
+	mk := func(name string, opts ...Option) *Site {
+		opts = append([]Option{WithNameServer("ns")}, opts...)
+		s, err := New(name, net, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = s.Close() })
+		return s
+	}
+	server = mk("server")
+	mobile = mk("mobile")
+	if observed {
+		mk("hub", WithFleet(addrs("server", "mobile")))
+	}
+	return server, mobile
+}
+
+// BenchmarkCallFleet compares the site invoke path with no collector in
+// the deployment against the same path while a hub scrapes the fleet —
+// the observability tax must be confined to the hub.
+func BenchmarkCallFleet(b *testing.B) {
+	bench := func(b *testing.B, observed bool) {
+		server, mobile := benchFleetWorld(b, observed)
+		master := &note{Text: "v"}
+		if err := server.Register(master); err != nil {
+			b.Fatal(err)
+		}
+		d, err := server.Export(master)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := mobile.Engine().RefFromDescriptor(d, replication.DefaultSpec)
+		if _, err := objmodel.Deref[*note](ref); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.Invoke("Read"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { bench(b, false) })
+	b.Run("observed", func(b *testing.B) { bench(b, true) })
+}

@@ -210,6 +210,7 @@ func newGroup(s *Site, o *options) (*Group, error) {
 		Apply:           g.apply,
 		OnEvent:         g.onEvent,
 		Seed:            cfg.Seed,
+		Metrics:         s.tel.Metrics(),
 		ElectionTimeout: cfg.ElectionTimeout,
 		Heartbeat:       cfg.Heartbeat,
 		Lease:           cfg.Lease,

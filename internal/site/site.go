@@ -22,6 +22,7 @@ import (
 	"obiwan/internal/consistency"
 	"obiwan/internal/dissemination"
 	"obiwan/internal/eventual"
+	"obiwan/internal/fleet"
 	"obiwan/internal/heap"
 	"obiwan/internal/nameserver"
 	"obiwan/internal/objmodel"
@@ -61,9 +62,12 @@ type options struct {
 	walDir      string
 	tel         *telemetry.Hub
 	noTel       bool
+	noSampler   bool
 	incarnation uint64
 	group       *GroupConfig
 	eventual    bool
+	fleetPeers  []transport.Addr
+	fleetOpts   []fleet.Option
 }
 
 // WithSiteID fixes the site's identity prefix for minted OIDs. Defaults to
@@ -133,6 +137,13 @@ func WithTelemetry(h *telemetry.Hub) Option { return func(o *options) { o.tel = 
 // and Traces endpoints report empty snapshots.
 func WithoutTelemetry() Option { return func(o *options) { o.noTel = true } }
 
+// WithoutRuntimeSampler keeps the site from starting the wall-clock go.*
+// gauge sampler. Deterministic harnesses need this when telemetry is on:
+// the sampled process state (heap bytes, goroutine count) differs between
+// runs, and once those gauges ride a federation scrape reply they change
+// frame sizes and hence simulated transfer times.
+func WithoutRuntimeSampler() Option { return func(o *options) { o.noSampler = true } }
+
 // Site is one OBIWAN process.
 type Site struct {
 	name    string
@@ -161,12 +172,14 @@ type Site struct {
 		refreshedStale *telemetry.Counter
 		compactions    *telemetry.Counter
 		walFsync       *telemetry.Histogram
+		staleReplicas  *telemetry.Gauge
 	}
 
-	durable  *durability     // nil for in-memory sites
-	group    *Group          // nil for single-master sites
-	eventual *eventual.Store // nil unless built WithEventual
-	txnMgr   *txn.Manager    // lazily built by TxnManager
+	durable  *durability      // nil for in-memory sites
+	fleet    *fleet.Collector // nil unless built WithFleet
+	group    *Group           // nil for single-master sites
+	eventual *eventual.Store  // nil unless built WithEventual
+	txnMgr   *txn.Manager     // lazily built by TxnManager
 
 	mu         sync.Mutex
 	basePolicy replication.Policy
@@ -270,6 +283,13 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		s.met.refreshedStale = m.Counter("site.refresh.stale")
 		s.met.compactions = m.Counter("wal.compactions")
 		s.met.walFsync = m.Histogram("wal.fsync_ns")
+		s.met.staleReplicas = m.Gauge("site.stale.replicas")
+		// The gauge tracks the stale ledger through its observer hook, so
+		// every mutation path (invalidation sink, self-notify, refresh)
+		// updates it; with telemetry off the hook stays nil and the
+		// invalidation path pays nothing.
+		gauge := s.met.staleReplicas
+		s.stale.SetObserver(func(n int) { gauge.Set(int64(n)) })
 	}
 	if store != nil && hub.Enabled() {
 		// Bridge WAL fsync timings into the registry without the wal
@@ -336,7 +356,15 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		return nil, fmt.Errorf("site %q: update sink landed at id %d, want %d", name, upRef.ID, updateSinkID)
 	}
 
-	adminRef, err := rt.Export(admin.NewService(name, rt, s.heap, s.engine, hub), admin.Iface)
+	adminSvc := admin.NewService(name, rt, s.heap, s.engine, hub)
+	if len(o.fleetPeers) > 0 {
+		// The collector must be wired before the service is exported:
+		// the fleet endpoints read the source without locking.
+		fleetOpts := append([]fleet.Option{fleet.WithFlight(hub.Flight())}, o.fleetOpts...)
+		s.fleet = fleet.New(rt, o.fleetPeers, fleetOpts...)
+		adminSvc.SetFleet(s.fleet)
+	}
+	adminRef, err := rt.Export(adminSvc, admin.Iface)
 	if err != nil {
 		_ = rt.Close()
 		return nil, fmt.Errorf("site %q: export admin: %w", name, err)
@@ -405,18 +433,20 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 			f.Dump("crash recovery")
 		}
 	}
-	s.stopSampler = hub.StartRuntimeSampler(10 * time.Second)
+	if !o.noSampler {
+		s.stopSampler = hub.StartRuntimeSampler(10 * time.Second)
+	}
 	return s, nil
 }
 
 // adminID is the well-known object id of the admin service: always a
-// site's third export (after the invalidation and update sinks).
-const adminID rmi.ObjID = 3
+// site's third export (after the invalidation and update sinks). The
+// value is owned by the admin package so fleet collectors can address
+// peers without importing the site layer.
+const adminID = admin.WellKnownID
 
 // AdminRef builds the reference to the admin service of the site at addr.
-func AdminRef(addr transport.Addr) rmi.RemoteRef {
-	return rmi.RemoteRef{Addr: addr, ID: adminID, Iface: admin.Iface}
-}
+func AdminRef(addr transport.Addr) rmi.RemoteRef { return admin.Ref(addr) }
 
 // Inspect queries a peer site's admin service from this site.
 func (s *Site) Inspect(addr transport.Addr) (*admin.SiteReport, error) {
@@ -546,6 +576,9 @@ func (s *Site) Close() error {
 		if s.stopSampler != nil {
 			s.stopSampler()
 		}
+		if s.fleet != nil {
+			s.fleet.Stop()
+		}
 		if s.durable != nil {
 			s.durable.stop()
 			// Best-effort: the log alone already holds everything the
@@ -579,6 +612,9 @@ func (s *Site) Kill() {
 	s.closeOnce.Do(func() {
 		if s.stopSampler != nil {
 			s.stopSampler()
+		}
+		if s.fleet != nil {
+			s.fleet.Stop()
 		}
 		if s.durable != nil {
 			s.durable.stop()

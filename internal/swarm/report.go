@@ -66,6 +66,10 @@ type Report struct {
 	RMI   RMITotals  `json:"rmi"`
 	Links LinkTotals `json:"links"`
 
+	// Fleet carries the collector's probes on observatory runs
+	// (Options.Observe); nil otherwise.
+	Fleet *FleetObservation `json:"fleet,omitempty"`
+
 	// OpsPerSimSecond is fleet operation throughput in simulated time —
 	// the capacity figure the harness exists to measure.
 	OpsPerSimSecond float64 `json:"ops_per_sim_second"`
@@ -93,6 +97,7 @@ func (sw *Swarm) buildReport(scenario string) *Report {
 		r.HubGroup = len(sw.hubs)
 		r.FailoverMS = float64(sw.failover) / float64(time.Millisecond)
 	}
+	r.Fleet = sw.obs
 	sites := append([]*site.Site(nil), sw.all...)
 	for _, st := range sw.docs {
 		r.PutsAcked += st.acked

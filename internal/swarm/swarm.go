@@ -95,6 +95,16 @@ type Options struct {
 	// redirect, and the fleet survives the permanent loss of a minority.
 	// 0 or 1 keeps the classic single hub.
 	HubGroup int
+
+	// Observe turns the scenario into a fleet observatory run: every leaf
+	// carries a virtual-clocked telemetry hub, the (first) hub site runs
+	// invalidation-based consistency plus a fleet.Collector over the
+	// initial roster, and the collector — not the scenario's assertions —
+	// measures staleness and convergence at two probe points (after the
+	// op phase, and after every survivor refreshed). The probes land in
+	// Report.Fleet. Everything stays deterministic per seed: scrapes run
+	// serially in the scenario body on the virtual clock.
+	Observe bool
 }
 
 // Defaults returns a small, fast baseline configuration for seed.
@@ -259,6 +269,7 @@ type Swarm struct {
 	kills       int
 	spawns      int
 	failover    time.Duration // virtual time to re-elect after a hub kill
+	obs         *FleetObservation
 	fatal       error
 
 	wallStart time.Time
@@ -317,6 +328,24 @@ func Build(o Options) (*Swarm, error) {
 			site.WithRetry(retryPolicy()),
 			site.WithIncarnation(1),
 			site.WithTelemetry(telemetry.NewHub(name, telemetry.WithClock(clock.Now))),
+			// No wall-clock go.* sampling: sampled process state differs
+			// between runs, and observatory scrapes would carry it onto
+			// the (virtually timed) wire.
+			site.WithoutRuntimeSampler(),
+		}
+		if o.Observe && name == hubNames[0] {
+			// The first hub is the observatory: invalidations give the
+			// staleness gauge a real signal, and the collector scrapes the
+			// initial roster (every hub member plus every gen-0 leaf; churn
+			// replacements surface as scrape errors on the dead address).
+			roster := make([]transport.Addr, 0, len(hubNames)+o.Sites)
+			for _, n := range hubNames {
+				roster = append(roster, transport.Addr(n))
+			}
+			for id := 0; id < o.Sites; id++ {
+				roster = append(roster, transport.Addr(leafName(id, 0)))
+			}
+			opts = append(opts, site.WithInvalidation(), site.WithFleet(roster))
 		}
 		if len(hubNames) > 1 {
 			opts = append(opts, site.WithMasterGroup(site.GroupConfig{
@@ -469,10 +498,21 @@ func (sw *Swarm) bootstrap() error {
 // incarnation. Callers during the run must hold no swarm lock.
 func (sw *Swarm) newLeaf(id, gen int) (*leaf, error) {
 	name := leafName(id, gen)
-	s, err := site.New(name, sw.Net,
+	opts := []site.Option{
 		site.WithRetry(retryPolicy()),
 		site.WithIncarnation(1), // the address is unique per incarnation already
-		site.WithoutTelemetry())
+	}
+	if sw.Opts.Observe {
+		// Observatory runs give every leaf a virtual-clocked hub so the
+		// collector has per-site metrics to federate — minus the wall-clock
+		// go.* sampler, whose readings would perturb scrape reply sizes.
+		opts = append(opts,
+			site.WithTelemetry(telemetry.NewHub(name, telemetry.WithClock(sw.Clock.Now))),
+			site.WithoutRuntimeSampler())
+	} else {
+		opts = append(opts, site.WithoutTelemetry())
+	}
+	s, err := site.New(name, sw.Net, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("swarm: leaf %s: %w", name, err)
 	}
@@ -848,7 +888,11 @@ func run(name string, o Options, disturb func(sw *Swarm, wg *netsim.WaitGroup, u
 			})
 		}
 		wg.Wait()
-		return sw.finalChecks()
+		sw.observe(probeAfterOps)
+		if err := sw.finalChecks(); err != nil {
+			return err
+		}
+		return sw.observeConverged()
 	})
 	report := sw.buildReport(name)
 	stream := sw.Stream()

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomSnapshot builds a metrics snapshot through a real registry, so
+// histograms carry internally consistent shard/bucket state (the same
+// shapes a scraped site produces) rather than arbitrary fuzzed structs.
+func randomSnapshot(rng *rand.Rand, site string) *MetricsSnapshot {
+	m := NewMetrics()
+	names := []string{"rmi.calls", "repl.faults", "site.sync.dirty"}
+	for _, n := range names[:1+rng.Intn(len(names))] {
+		m.Counter(n).Add(uint64(rng.Intn(1000)))
+	}
+	m.Gauge("site.stale.replicas").Set(int64(rng.Intn(100)))
+	h := m.Histogram("rmi.call.latency_ns")
+	for i, n := 0, 1+rng.Intn(64); i < n; i++ {
+		h.Observe(rng.Int63n(int64(time.Second)))
+	}
+	return m.Snapshot(site, rng.Int63n(1e9))
+}
+
+// foldMetrics merges the snapshots in the given visit order.
+func foldMetrics(snaps []*MetricsSnapshot, order []int) *MetricsSnapshot {
+	out := &MetricsSnapshot{}
+	for _, i := range order {
+		out = out.Merge(snaps[i])
+	}
+	return out
+}
+
+// shuffledOrder derives a permutation of n indices from seed.
+func shuffledOrder(n int, seed int64) []int {
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	return order
+}
+
+// TestMetricsMergeOrderIndependent: folding N site snapshots in any
+// order yields identical totals, gauge sums, and histogram
+// count/sum/min/max/quantiles — the property the fleet collector's
+// aggregate rests on.
+func TestMetricsMergeOrderIndependent(t *testing.T) {
+	f := func(seed int64, shuffleSeed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		snaps := make([]*MetricsSnapshot, n)
+		forward := make([]int, n)
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng, "s"+string(rune('a'+i)))
+			forward[i] = i
+		}
+		a := foldMetrics(snaps, forward)
+		b := foldMetrics(snaps, shuffledOrder(n, shuffleSeed))
+		// Site differs by fold order only when sites disagree anyway (it
+		// is then unset in both); everything measured must match exactly.
+		a.Site, b.Site = "", ""
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeBounds: merged quantiles stay inside [min, max] and
+// the merged count/sum are exact, whichever side is folded first.
+func TestHistogramMergeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSnapshot(rng, "a").GetHistogram("rmi.call.latency_ns")
+		b := randomSnapshot(rng, "b").GetHistogram("rmi.call.latency_ns")
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			return false
+		}
+		if ab.Count != a.Count+b.Count || ab.Sum != a.Sum+b.Sum {
+			return false
+		}
+		for _, q := range []int64{ab.P50, ab.P90, ab.P99} {
+			if q < ab.Min || q > ab.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProfile builds a profiler snapshot with hot objects drawn from a
+// shared OID universe, so cross-site merges genuinely collide.
+func randomProfile(rng *rand.Rand, site string) *ProfileSnapshot {
+	p := NewProfiler(64)
+	for i, n := 0, 1+rng.Intn(24); i < n; i++ {
+		oid := uint64(1 + rng.Intn(32))
+		p.RecordInvoke(oid, rng.Intn(2) == 0)
+		if rng.Intn(3) == 0 {
+			p.RecordFault(oid, false, false, 1, 128, time.Duration(rng.Intn(1000)))
+		}
+	}
+	return p.Snapshot(site, rng.Int63n(1e9), 0)
+}
+
+// TestProfileMergeTopKOrderIndependent: folding per-site profiles
+// untruncated and cutting to top-K once at the end (the collector's
+// fold) yields the same ranked set regardless of fold order.
+func TestProfileMergeTopKOrderIndependent(t *testing.T) {
+	const topK = 4
+	fold := func(profiles []*ProfileSnapshot, order []int) *ProfileSnapshot {
+		out := &ProfileSnapshot{}
+		for _, i := range order {
+			out = out.Merge(profiles[i], 0)
+		}
+		return out.Merge(nil, topK)
+	}
+	f := func(seed int64, shuffleSeed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		profiles := make([]*ProfileSnapshot, n)
+		forward := make([]int, n)
+		for i := range profiles {
+			profiles[i] = randomProfile(rng, "s"+string(rune('a'+i)))
+			forward[i] = i
+		}
+		a := fold(profiles, forward)
+		b := fold(profiles, shuffledOrder(n, shuffleSeed))
+		a.Site, b.Site = "", ""
+		if len(a.Objects) > topK {
+			return false
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilePairwiseTruncationWouldReorder documents why the collector
+// must not truncate at each pairwise step: an object just below one
+// pair's cut can belong in the true fleet top-K once every site has
+// contributed.
+func TestProfilePairwiseTruncationWouldReorder(t *testing.T) {
+	mk := func(site string, heats map[uint64]int) *ProfileSnapshot {
+		p := NewProfiler(16)
+		for oid, heat := range heats {
+			for i := 0; i < heat; i++ {
+				p.RecordInvoke(oid, false)
+			}
+		}
+		return p.Snapshot(site, 0, 0)
+	}
+	// Object 3 is lukewarm on both sites but fleet-hot in aggregate.
+	a := mk("a", map[uint64]int{1: 10, 2: 9, 3: 8})
+	b := mk("b", map[uint64]int{4: 10, 5: 9, 3: 8})
+	correct := a.Merge(b, 0).Merge(nil, 2)
+	if len(correct.Objects) != 2 || correct.Objects[0].OID != 3 {
+		t.Fatalf("fleet top-2 should lead with oid 3: %+v", correct.Objects)
+	}
+	eager := a.Merge(nil, 2).Merge(b.Merge(nil, 2), 0).Merge(nil, 2)
+	for _, o := range eager.Objects {
+		if o.OID == 3 {
+			t.Fatalf("eager truncation kept oid 3 — test premise broken: %+v", eager.Objects)
+		}
+	}
+}
+
+// TestFleetSnapshotFormatDeterministic: two renders of the same fleet
+// state are byte-identical (tables sort by name).
+func TestFleetSnapshotFormatDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	snap := &FleetSnapshot{
+		Sites: []SiteObservation{
+			{Site: "a", Metrics: randomSnapshot(rng, "a")},
+			{Site: "b", Metrics: randomSnapshot(rng, "b")},
+		},
+	}
+	snap.Metrics = snap.Sites[0].Metrics.Merge(snap.Sites[1].Metrics)
+	if snap.Format() != snap.Format() {
+		t.Fatal("fleet snapshot renders differ between calls")
+	}
+}

@@ -263,24 +263,33 @@ func (s *MetricsSnapshot) GetHistogram(name string) HistogramValue {
 }
 
 // Format renders the snapshot as aligned tables (the obiwan-admin
-// output).
+// output). Rows are sorted by name regardless of slice order — a
+// registry snapshot arrives sorted, but merged or hand-assembled
+// snapshots need not be, and scrape diffs and golden tests want one
+// stable rendering.
 func (s *MetricsSnapshot) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "metrics for site %q\n\n", s.Site)
-	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+	counters := append([]CounterValue(nil), s.Counters...)
+	gauges := append([]GaugeValue(nil), s.Gauges...)
+	hists := append([]HistogramValue(nil), s.Histograms...)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	if len(counters) > 0 || len(gauges) > 0 {
 		t := stats.NewTable("name", "value")
-		for _, c := range s.Counters {
+		for _, c := range counters {
 			t.AddRow(c.Name, c.Value)
 		}
-		for _, g := range s.Gauges {
+		for _, g := range gauges {
 			t.AddRow(g.Name, g.Value)
 		}
 		_, _ = t.WriteTo(&b)
 		b.WriteByte('\n')
 	}
-	if len(s.Histograms) > 0 {
+	if len(hists) > 0 {
 		t := stats.NewTable("histogram", "count", "min", "p50", "p90", "p99", "max")
-		for _, h := range s.Histograms {
+		for _, h := range hists {
 			if strings.HasSuffix(h.Name, "_ns") {
 				t.AddRow(h.Name, h.Count,
 					time.Duration(h.Min), time.Duration(h.P50),

@@ -55,6 +55,7 @@ import (
 	"obiwan/internal/consistency"
 	"obiwan/internal/dissemination"
 	"obiwan/internal/eventual"
+	"obiwan/internal/fleet"
 	"obiwan/internal/heap"
 	"obiwan/internal/invoke"
 	"obiwan/internal/nameserver"
@@ -346,6 +347,51 @@ var (
 	// publisher's retained log; the subscriber resynchronizes with a
 	// full state fetch instead of an incremental batch.
 	ErrTooFarBehind = dissemination.ErrTooFarBehind
+)
+
+// Fleet observatory (DESIGN.md §12): a site built WithFleet scrapes the
+// admin service of every listed peer over RMI, folds the snapshots into
+// one order-independent aggregate (merged metrics, cross-site top-K hot
+// objects), and evaluates a declarative SLO watchdog over the federated
+// stream. Inspect with `obiwan-admin fleet top` / `fleet alerts`.
+type (
+	// FleetCollector is the observatory site's handle (Site.Fleet):
+	// ScrapeOnce, the background Start/Stop loop, and the alert backlog.
+	FleetCollector = fleet.Collector
+	// FleetRule is one declarative SLO condition over the federated
+	// stream (p99 tail, counter lag, rate-of-change, gauge threshold).
+	FleetRule = fleet.Rule
+	// FleetSnapshot is the aggregated fleet view: per-site observations
+	// plus the merged metrics and cross-site hot-object ranking.
+	FleetSnapshot = telemetry.FleetSnapshot
+	// FleetAlert is one watchdog firing: rule, offending site, value.
+	FleetAlert = telemetry.Alert
+)
+
+// Watchdog rule kinds (FleetRule.Kind).
+const (
+	// RuleP99 fires when a histogram's p99 exceeds Threshold.
+	RuleP99 = fleet.RuleP99
+	// RuleLag fires when counter Metric exceeds counter Minus by more
+	// than Threshold.
+	RuleLag = fleet.RuleLag
+	// RuleRate fires when counter Metric grew by more than Threshold
+	// since the previous scrape.
+	RuleRate = fleet.RuleRate
+	// RuleGauge fires when a gauge exceeds Threshold.
+	RuleGauge = fleet.RuleGauge
+)
+
+var (
+	// WithFleet makes the site a fleet observatory over the given peers.
+	WithFleet = site.WithFleet
+	// FleetDefaultRules is the stock watchdog rule set: RMI p99 latency,
+	// commit-frontier lag, election churn, replica staleness.
+	FleetDefaultRules = fleet.DefaultRules
+	// FleetWithRules overrides the watchdog rule set.
+	FleetWithRules = fleet.WithRules
+	// FleetWithTopK sets the aggregated hot-object ranking depth.
+	FleetWithTopK = fleet.WithTopK
 )
 
 // Networks.
