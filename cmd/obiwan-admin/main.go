@@ -14,12 +14,26 @@
 //	obiwan-admin -site host:port -top 10 top        # hottest objects
 //	obiwan-admin -site host:port flight             # flight-recorder dump
 //	obiwan-admin -site host:port -interval 2s watch # live telemetry stream
+//	obiwan-admin -site host:port slow               # worst traced demands, annotated
 //	obiwan-admin -site host:port fleet top          # federated fleet view
 //	obiwan-admin -site host:port fleet alerts       # SLO watchdog alerts
+//	obiwan-admin -site host:port fleet slow         # fleet-wide worst demands
+//	obiwan-admin -site host:port fleet attribution  # "where does p99 go" profile
 //
 // The fleet subcommands address a site running a fleet collector; `fleet
 // top` forces a fresh scrape of every peer before rendering, `fleet
-// alerts` prints the watchdog's retained alert backlog.
+// alerts` prints the watchdog's retained alert backlog, `fleet slow` and
+// `fleet attribution` serve the collector's federated slow traces and
+// critical-path phase profile.
+//
+// `slow` prints each tail exemplar as its phase-annotated critical path:
+// which site and span the time went to, split into protocol phases
+// (queue, net, serve, assemble, apply, fsync, elect.wait, ...).
+//
+// -json switches every data command to machine-readable JSON. `slow`,
+// `fleet slow`, and `fleet alerts` exit with status 3 when they found
+// something (slow traces or alerts), so scripts can gate on the exit
+// code without parsing output.
 //
 // -timeout bounds each RMI the tool issues; watch additionally honors
 // -interval (poll period) and -count (chunks to print before exiting,
@@ -30,6 +44,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,12 +62,16 @@ import (
 
 // runOpts carries the flag values into run.
 type runOpts struct {
-	maxSpans uint64        // trace/watch: span fetch cap (0 = server default)
+	maxSpans uint64        // trace/watch/slow: fetch cap (0 = server default)
 	topK     uint64        // top: how many hot objects (0 = all tracked)
 	timeout  time.Duration // per-RMI deadline (0 = runtime default)
 	interval time.Duration // watch: poll period
 	count    int           // watch: chunks before exit (0 = forever)
+	jsonOut  bool          // render JSON instead of tables
 }
+
+// exit codes: 0 clean, 1 error, 2 usage, 3 findings (alerts/slow traces).
+const exitFindings = 3
 
 func main() {
 	siteAddr := flag.String("site", "", "address of the site to inspect (host:port)")
@@ -63,6 +82,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-call RMI deadline (0 = runtime default)")
 	interval := flag.Duration("interval", time.Second, "watch: poll period")
 	count := flag.Int("count", 0, "watch: exit after this many chunks (0 = stream forever)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *siteAddr == "" {
@@ -89,21 +109,24 @@ func main() {
 	o := runOpts{
 		maxSpans: *maxSpans, topK: *topK,
 		timeout: *timeout, interval: *interval, count: *count,
+		jsonOut: *jsonOut,
 	}
-	if err := run(os.Stdout, *siteAddr, cmd, o); err != nil {
+	code, err := run(os.Stdout, *siteAddr, cmd, o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "obiwan-admin:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
 // errWatchDone ends a -count bounded watch from inside the subscription.
 var errWatchDone = errors.New("watch done")
 
-func run(w io.Writer, siteAddr, cmd string, o runOpts) error {
+func run(w io.Writer, siteAddr, cmd string, o runOpts) (int, error) {
 	network := transport.NewTCPNetwork()
 	rt, err := rmi.NewRuntime(network, "127.0.0.1:0")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer rt.Close()
 
@@ -115,61 +138,147 @@ func run(w io.Writer, siteAddr, cmd string, o runOpts) error {
 	case "ping":
 		name, err := client.Ping()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Fprintf(w, "site %q is alive at %s\n", name, siteAddr)
-		return nil
+		return 0, nil
 	case "metrics":
 		snap, err := client.Metrics()
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return renderMetrics(w, snap)
+		if o.jsonOut {
+			return 0, renderJSON(w, snap)
+		}
+		return 0, renderMetrics(w, snap)
 	case "trace":
 		dump, err := client.Traces(o.maxSpans)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return renderTraces(w, dump)
+		if o.jsonOut {
+			return 0, renderJSON(w, dump)
+		}
+		return 0, renderTraces(w, dump)
 	case "top":
 		snap, err := client.Profile(o.topK)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return renderProfile(w, snap)
+		if o.jsonOut {
+			return 0, renderJSON(w, snap)
+		}
+		return 0, renderProfile(w, snap)
 	case "flight":
 		dump, err := client.Flight()
 		if err != nil {
-			return err
+			return 0, err
+		}
+		if o.jsonOut {
+			return 0, renderJSON(w, dump)
 		}
 		_, err = io.WriteString(w, dump.Format())
-		return err
+		return 0, err
 	case "watch":
-		return watch(w, client, o)
+		return 0, watch(w, client, o)
+	case "slow":
+		chunk, err := client.Slow(o.maxSpans)
+		if err != nil {
+			return 0, err
+		}
+		return renderSlow(w, chunk, o.jsonOut)
 	case "fleet top":
 		snap, err := client.Fleet(true)
 		if err != nil {
-			return err
+			return 0, err
+		}
+		if o.jsonOut {
+			return 0, renderJSON(w, snap)
 		}
 		_, err = io.WriteString(w, snap.Format())
-		return err
+		return 0, err
 	case "fleet alerts":
 		chunk, err := client.FleetAlerts()
 		if err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Fprintf(w, "site %q watchdog:\n", chunk.Site)
-		_, err = io.WriteString(w, telemetry.FormatAlerts(chunk.Alerts))
-		return err
+		if o.jsonOut {
+			if err := renderJSON(w, chunk); err != nil {
+				return 0, err
+			}
+		} else {
+			fmt.Fprintf(w, "site %q watchdog:\n", chunk.Site)
+			if _, err := io.WriteString(w, telemetry.FormatAlerts(chunk.Alerts, chunk.Dropped)); err != nil {
+				return 0, err
+			}
+		}
+		if len(chunk.Alerts) > 0 {
+			return exitFindings, nil
+		}
+		return 0, nil
+	case "fleet slow":
+		chunk, err := client.FleetSlow(o.maxSpans)
+		if err != nil {
+			return 0, err
+		}
+		return renderSlow(w, chunk, o.jsonOut)
+	case "fleet attribution":
+		prof, err := client.FleetAttribution()
+		if err != nil {
+			return 0, err
+		}
+		if o.jsonOut {
+			return 0, renderJSON(w, prof)
+		}
+		if prof.Paths == 0 {
+			fmt.Fprintln(w, "no complete traces scraped yet (telemetry disabled or no traffic)")
+			return 0, nil
+		}
+		_, err = io.WriteString(w, prof.Format())
+		return 0, err
 	case "report", "objects":
 		report, err := client.Report()
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return render(w, report, cmd == "objects")
+		if o.jsonOut {
+			return 0, renderJSON(w, report)
+		}
+		return 0, render(w, report, cmd == "objects")
 	default:
-		return fmt.Errorf("unknown command %q (want report, ping, objects, metrics, trace, top, flight, watch, fleet top, or fleet alerts)", cmd)
+		return 0, fmt.Errorf("unknown command %q (want report, ping, objects, metrics, trace, top, flight, watch, slow, fleet top, fleet alerts, fleet slow, or fleet attribution)", cmd)
 	}
+}
+
+// renderJSON emits v as indented JSON — the -json output mode.
+func renderJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// renderSlow prints a slow-trace chunk — each tail exemplar as its
+// phase-annotated critical path — and signals findings via the exit code.
+func renderSlow(w io.Writer, chunk *admin.SlowChunk, jsonOut bool) (int, error) {
+	if jsonOut {
+		if err := renderJSON(w, chunk); err != nil {
+			return 0, err
+		}
+	} else if len(chunk.Traces) == 0 {
+		fmt.Fprintf(w, "site %q: no slow traces (telemetry disabled or nothing sampled yet)\n", chunk.Site)
+	} else {
+		fmt.Fprintf(w, "site %q: %d slow traces\n\n", chunk.Site, len(chunk.Traces))
+		for _, st := range chunk.Traces {
+			if _, err := io.WriteString(w, st.Format()); err != nil {
+				return 0, err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(chunk.Traces) > 0 {
+		return exitFindings, nil
+	}
+	return 0, nil
 }
 
 // watch streams telemetry chunks, one block per poll. A transient RMI

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+
 	"bytes"
+	"obiwan/internal/admin"
 	"strings"
 	"testing"
 	"time"
@@ -37,7 +40,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := run(&buf, string(s.Addr()), "ping", runOpts{}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "ping", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "is alive") {
@@ -45,7 +48,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "report", runOpts{}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "report", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +64,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "objects", runOpts{}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "objects", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "rmi:") {
@@ -71,7 +74,7 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	// metrics: the serve counter has ticked for the calls above. The
 	// -timeout path must work too.
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "metrics", runOpts{timeout: 5 * time.Second}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "metrics", runOpts{timeout: 5 * time.Second}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rmi.calls.served") {
@@ -81,14 +84,14 @@ func TestAdminCLIOverTCP(t *testing.T) {
 	// trace: the CLI's own calls carry no trace context, so the site has
 	// no finished spans — the command must still succeed and say so.
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "trace", runOpts{maxSpans: 10}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "trace", runOpts{maxSpans: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no finished spans") {
 		t.Fatalf("trace output: %q", buf.String())
 	}
 
-	if err := run(&buf, string(s.Addr()), "bogus", runOpts{}); err == nil {
+	if _, err := run(&buf, string(s.Addr()), "bogus", runOpts{}); err == nil {
 		t.Fatal("unknown command must error")
 	}
 }
@@ -105,7 +108,7 @@ func TestAdminCLITopAndFlight(t *testing.T) {
 
 	// top before any replication: explicit empty-state message.
 	var buf bytes.Buffer
-	if err := run(&buf, string(s.Addr()), "top", runOpts{}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "top", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no profiled objects") {
@@ -122,7 +125,7 @@ func TestAdminCLITopAndFlight(t *testing.T) {
 	fl.Dump("test dump")
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "top", runOpts{topK: 5}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "top", runOpts{topK: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -131,7 +134,7 @@ func TestAdminCLITopAndFlight(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run(&buf, string(s.Addr()), "flight", runOpts{}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "flight", runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -157,7 +160,7 @@ func TestAdminCLIWatch(t *testing.T) {
 	child.End()
 
 	var buf bytes.Buffer
-	if err := run(&buf, string(s.Addr()), "watch", runOpts{interval: 10 * time.Millisecond, count: 2}); err != nil {
+	if _, err := run(&buf, string(s.Addr()), "watch", runOpts{interval: 10 * time.Millisecond, count: 2}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -171,7 +174,81 @@ func TestAdminCLIWatch(t *testing.T) {
 
 func TestAdminCLIUnreachable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "127.0.0.1:1", "ping", runOpts{}); err == nil {
+	if _, err := run(&buf, "127.0.0.1:1", "ping", runOpts{}); err == nil {
 		t.Fatal("unreachable site must error")
+	}
+}
+
+// TestAdminCLISlowJSONAndExitCodes: the slow command renders tail
+// exemplars as critical paths and signals findings through its exit code
+// (0 clean, 3 findings); -json switches every payload to parseable JSON.
+func TestAdminCLISlowJSONAndExitCodes(t *testing.T) {
+	net := transport.NewTCPNetwork()
+	s, err := site.New("127.0.0.1:0", net, site.WithSiteID(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Idle site: no slow traces, clean exit.
+	var buf bytes.Buffer
+	code, err := run(&buf, string(s.Addr()), "slow", runOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(buf.String(), "no slow traces") {
+		t.Fatalf("idle slow: code=%d output=%q", code, buf.String())
+	}
+
+	// Record a traced demand with a phase annotation and a tail exemplar,
+	// as the rmi client does.
+	root := s.Telemetry().StartRoot("fault")
+	root.Phase(telemetry.PhaseNet, 900*time.Microsecond)
+	root.End()
+	s.Telemetry().Metrics().Histogram("rmi.call.latency_ns").
+		ObserveExemplar(int64(900*time.Microsecond), root.Context().TraceID)
+
+	buf.Reset()
+	code, err = run(&buf, string(s.Addr()), "slow", runOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Fatalf("slow with findings: code=%d, want 3", code)
+	}
+	for _, want := range []string{"1 slow traces", "rmi.call.latency_ns = 900µs", "fault", "net=900µs"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("slow output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// -json: the same chunk as machine-readable JSON, same exit code.
+	buf.Reset()
+	code, err = run(&buf, string(s.Addr()), "slow", runOpts{jsonOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Fatalf("json slow: code=%d, want 3", code)
+	}
+	var chunk admin.SlowChunk
+	if err := json.Unmarshal(buf.Bytes(), &chunk); err != nil {
+		t.Fatalf("slow -json did not parse: %v\n%s", err, buf.String())
+	}
+	if len(chunk.Traces) != 1 || chunk.Traces[0].TraceID != root.Context().TraceID {
+		t.Fatalf("json chunk: %+v", chunk)
+	}
+
+	// -json on metrics: a parseable snapshot.
+	buf.Reset()
+	if _, err := run(&buf, string(s.Addr()), "metrics", runOpts{jsonOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics -json did not parse: %v", err)
+	}
+	if snap.Site == "" || len(snap.Counters) == 0 {
+		t.Fatalf("json snapshot empty: %+v", snap)
 	}
 }

@@ -15,14 +15,16 @@
 //	obiwan-bench -exp profile             # hot-object replication profiler report
 //	obiwan-bench -exp failover            # master-group overhead + elect latency
 //	obiwan-bench -exp fleet               # capacity curves via fleet federation
+//	obiwan-bench -exp attribution         # critical-path phase shares ("where does p99 go")
 //	obiwan-bench -exp all                 # everything
 //
 // Flags: -quick (scaled-down parameters), -csv (machine-readable output),
 // -profile lan10|wan|wireless|loopback, -list (list length), -svg DIR
 // (render figures), -flight FILE (write the profile run's flight dump),
 // -json FILE (write every collected point as JSON — the checked-in
-// baselines are `-exp failover -json BENCH_failover.json` and
-// `-exp fleet -json BENCH_fleet.json`).
+// baselines are `-exp failover -json BENCH_failover.json`,
+// `-exp fleet -json BENCH_fleet.json`, and
+// `-exp attribution -json BENCH_attribution.json`).
 //
 // Regression gate:
 //
@@ -49,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, failover, fleet, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig5curve, fig5v6, ablation-mode, ablation-depth, auto, failover, fleet, attribution, all")
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	profile := flag.String("profile", "lan10", "link profile: lan10, wan, wireless, loopback")
@@ -169,6 +171,8 @@ func run(w io.Writer, exp string, quick, csv bool, profile string, listLen, size
 			func() ([]bench.Point, error) { return bench.RunFailover(cfg) }},
 		{"fleet", "capacity curves: churn + flash-crowd swept over site counts, measured by the fleet collector (virtual clock, deterministic)",
 			func() ([]bench.Point, error) { return bench.RunFleet(cfg) }},
+		{"attribution", "critical-path phase shares: where churn + flash-crowd latency goes, per protocol phase (virtual clock, deterministic)",
+			func() ([]bench.Point, error) { return bench.RunAttribution(cfg) }},
 	}
 
 	selected := runners[:0:0]

@@ -42,16 +42,30 @@ type ScrapeChunk struct {
 	Spans   []telemetry.SpanRecord
 }
 
-// AlertChunk wraps the watchdog's alert backlog for the wire.
+// AlertChunk wraps the watchdog's alert backlog for the wire. Dropped
+// counts alerts the bounded backlog has evicted since the collector
+// started — nonzero means the listed alerts are a window, not the
+// history.
 type AlertChunk struct {
 	Site      string
 	TakenAtNS int64
+	Dropped   uint64
 	Alerts    []telemetry.Alert
+}
+
+// SlowChunk wraps slow-trace results (tail exemplars resolved to their
+// spans) for the wire — one site's, or the fleet's when assembled by a
+// collector.
+type SlowChunk struct {
+	Site      string
+	TakenAtNS int64
+	Traces    []telemetry.SlowTrace
 }
 
 func init() {
 	codec.MustRegister("obiwan.admin.ScrapeChunk", ScrapeChunk{})
 	codec.MustRegister("obiwan.admin.AlertChunk", AlertChunk{})
+	codec.MustRegister("obiwan.admin.SlowChunk", SlowChunk{})
 }
 
 // ErrNoFleet is returned by the fleet endpoints of a site that runs no
@@ -66,8 +80,15 @@ type FleetSource interface {
 	// the source scrapes its peers first; otherwise it serves the view
 	// assembled by the most recent scrape.
 	FleetSnapshot(refresh bool) (*telemetry.FleetSnapshot, error)
-	// FleetAlerts returns the watchdog's retained alerts, oldest first.
-	FleetAlerts() []telemetry.Alert
+	// FleetAlerts returns the watchdog's retained alerts, oldest first,
+	// plus the count of alerts evicted from the bounded backlog.
+	FleetAlerts() ([]telemetry.Alert, uint64)
+	// FleetSlow returns the fleet's worst recent traced demands — tail
+	// exemplars from every scraped site, resolved against the
+	// collector's span buffer — at most max (all when max <= 0).
+	FleetSlow(max int) []telemetry.SlowTrace
+	// Attribution returns the fleet's aggregated critical-path profile.
+	Attribution() *telemetry.AttributionProfile
 }
 
 // SetFleet installs the site's fleet collector. Must be called before
@@ -108,16 +129,59 @@ func (s *Service) Fleet(refresh bool) (*telemetry.FleetSnapshot, error) {
 	return s.fleet.FleetSnapshot(refresh)
 }
 
-// FleetAlerts returns the fleet watchdog's retained alerts.
+// FleetAlerts returns the fleet watchdog's retained alerts and how many
+// the bounded backlog has dropped.
 func (s *Service) FleetAlerts() (*AlertChunk, error) {
 	if s.fleet == nil {
 		return nil, ErrNoFleet
 	}
+	alerts, dropped := s.fleet.FleetAlerts()
 	return &AlertChunk{
 		Site:      s.name,
 		TakenAtNS: s.tel.Now().UnixNano(),
-		Alerts:    s.fleet.FleetAlerts(),
+		Dropped:   dropped,
+		Alerts:    alerts,
 	}, nil
+}
+
+// Slow returns this site's worst recent traced demands: the tail
+// exemplars of its duration histograms resolved against its own span
+// ring (0: server default of 8). With telemetry off the chunk is empty
+// but the call succeeds.
+func (s *Service) Slow(max uint64) *SlowChunk {
+	if max == 0 {
+		max = 8
+	}
+	return &SlowChunk{
+		Site:      s.name,
+		TakenAtNS: s.tel.Now().UnixNano(),
+		Traces:    s.tel.SlowTraces(int(max)),
+	}
+}
+
+// FleetSlow returns the fleet-wide worst recent traced demands from this
+// site's collector (ErrNoFleet when it runs none).
+func (s *Service) FleetSlow(max uint64) (*SlowChunk, error) {
+	if s.fleet == nil {
+		return nil, ErrNoFleet
+	}
+	if max == 0 {
+		max = 8
+	}
+	return &SlowChunk{
+		Site:      s.name,
+		TakenAtNS: s.tel.Now().UnixNano(),
+		Traces:    s.fleet.FleetSlow(int(max)),
+	}, nil
+}
+
+// FleetAttribution returns the fleet's aggregated critical-path profile
+// from this site's collector (ErrNoFleet when it runs none).
+func (s *Service) FleetAttribution() (*telemetry.AttributionProfile, error) {
+	if s.fleet == nil {
+		return nil, ErrNoFleet
+	}
+	return s.fleet.Attribution(), nil
 }
 
 // Scrape fetches one federation chunk from the remote site.
@@ -157,4 +221,46 @@ func (c *Client) FleetAlerts() (*AlertChunk, error) {
 		return nil, errUnexpected(res[0])
 	}
 	return chunk, nil
+}
+
+// Slow fetches the remote site's worst recent traced demands (0: server
+// default of 8).
+func (c *Client) Slow(max uint64) (*SlowChunk, error) {
+	res, err := c.call("Slow", max)
+	if err != nil {
+		return nil, err
+	}
+	chunk, ok := res[0].(*SlowChunk)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return chunk, nil
+}
+
+// FleetSlow fetches the fleet-wide worst traced demands from the remote
+// site's collector.
+func (c *Client) FleetSlow(max uint64) (*SlowChunk, error) {
+	res, err := c.call("FleetSlow", max)
+	if err != nil {
+		return nil, err
+	}
+	chunk, ok := res[0].(*SlowChunk)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return chunk, nil
+}
+
+// FleetAttribution fetches the fleet's aggregated critical-path profile
+// from the remote site's collector.
+func (c *Client) FleetAttribution() (*telemetry.AttributionProfile, error) {
+	res, err := c.call("FleetAttribution")
+	if err != nil {
+		return nil, err
+	}
+	prof, ok := res[0].(*telemetry.AttributionProfile)
+	if !ok {
+		return nil, errUnexpected(res[0])
+	}
+	return prof, nil
 }

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"obiwan/internal/swarm"
+)
+
+// The attribution experiment answers the paper-scale "where does p99 go"
+// question: run the swarm's churn and flash-crowd scenarios in
+// observatory mode on the virtual clock, let the fleet collector scrape
+// every leaf's spans, and reduce the aggregated critical-path profile
+// (swarm.FleetObservation.Attribution) to integer phase shares. Every
+// figure is exact integer math over virtual-clock durations, so the
+// checked-in BENCH_attribution.json baseline is byte-stable per
+// Config.FleetSeed; drift in a phase share means the protocol's latency
+// composition actually changed.
+
+// RunAttribution produces the phase-share profile at the smallest
+// configured fleet size (the composition, unlike capacity, is not a
+// sweep):
+//
+//	<scenario>/paths          Value: critical paths the profile aggregates
+//	<scenario>/share-<phase>  Value: the phase's share of total path time,
+//	                          in integer permille (390 = 39.0%)
+func RunAttribution(cfg Config) ([]Point, error) {
+	if len(cfg.FleetSizes) == 0 {
+		return nil, fmt.Errorf("bench: no fleet sizes configured")
+	}
+	sites := cfg.FleetSizes[0]
+	scenarios := []struct {
+		name string
+		run  func(swarm.Options) (*swarm.Report, []string, error)
+	}{
+		{"churn", swarm.Churn},
+		{"flash-crowd", swarm.FlashCrowd},
+	}
+	var points []Point
+	for _, sc := range scenarios {
+		o := swarm.Defaults(cfg.FleetSeed)
+		o.Sites = sites
+		o.Duration = cfg.FleetDuration
+		o.Observe = true
+		report, _, err := sc.run(o)
+		if err != nil {
+			return nil, fmt.Errorf("attribution %s sites=%d: %w", sc.name, sites, err)
+		}
+		obs := report.Fleet
+		if obs == nil || obs.Attribution == nil {
+			return nil, fmt.Errorf("attribution %s sites=%d: no attribution profile in report", sc.name, sites)
+		}
+		prof := obs.Attribution
+		pt := func(series string) Point {
+			return Point{Experiment: "attribution", Series: sc.name + "/" + series,
+				Size: sites, X: float64(sites)}
+		}
+		paths := pt("paths")
+		paths.Value = float64(prof.Paths)
+		points = append(points, paths)
+		for _, phase := range prof.PhaseNames() {
+			p := pt("share-" + phase)
+			p.Value = float64(prof.SharePermille(phase))
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}

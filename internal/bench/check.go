@@ -61,8 +61,9 @@ func LoadBaseline(path string) ([]Point, error) {
 // that regenerates it. Only experiments that are deterministic under the
 // virtual clock belong here — gating wall-clock timings would flap.
 var checkRunners = map[string]func(Config) ([]Point, error){
-	"failover": RunFailover,
-	"fleet":    RunFleet,
+	"failover":    RunFailover,
+	"fleet":       RunFleet,
+	"attribution": RunAttribution,
 }
 
 func pointKey(p Point) string {

@@ -29,6 +29,7 @@ import (
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
 	"obiwan/internal/site"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -118,10 +119,15 @@ func (w *World) Run(fn func() error) error {
 	return err
 }
 
-// NewSite starts a site in this world with the chaos retry policy (an
-// explicit site.WithRetry in opts overrides it).
+// NewSite starts a site in this world with the chaos retry policy and a
+// telemetry hub on the world's clock — in a virtual world, span times and
+// phase attributions are then simulated time, deterministic per seed (an
+// explicit site.WithRetry or site.WithTelemetry in opts overrides).
 func (w *World) NewSite(name string, opts ...site.Option) (*site.Site, error) {
-	opts = append([]site.Option{site.WithRetry(DefaultRetry())}, opts...)
+	opts = append([]site.Option{
+		site.WithRetry(DefaultRetry()),
+		site.WithTelemetry(telemetry.NewHub(name, telemetry.WithClock(w.Clock.Now))),
+	}, opts...)
 	s, err := site.New(name, w.Net, opts...)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,8 +25,16 @@ import (
 const defaultTopK = 16
 
 // maxAlerts bounds the watchdog's retained alert backlog; older alerts
-// fall off the front.
+// fall off the front (counted in alertsDropped, surfaced as the
+// fleet.alerts.dropped counter — a silent drop would read as "no alert").
 const maxAlerts = 256
+
+// spanBufferCap bounds the collector's buffer of scraped spans — the raw
+// material for fleet-wide slow-trace resolution and critical-path
+// attribution. Oldest spans fall off the front; a trace whose spans have
+// been evicted renders a shorter (possibly empty) critical path rather
+// than failing.
+const spanBufferCap = 8192
 
 // peerState is the collector's per-site memory: the scrape cursor, the
 // last successful observation, and the counter values the rate rules
@@ -55,12 +64,16 @@ type Collector struct {
 	rules    []Rule
 	flight   *telemetry.FlightRecorder
 
-	mu     sync.Mutex
-	peers  []transport.Addr
-	states map[transport.Addr]*peerState
-	last   *telemetry.FleetSnapshot
-	alerts []telemetry.Alert
-	total  uint64 // completed scrape rounds
+	mu            sync.Mutex
+	peers         []transport.Addr
+	states        map[transport.Addr]*peerState
+	last          *telemetry.FleetSnapshot
+	alerts        []telemetry.Alert
+	alertsDropped uint64 // alerts evicted from the bounded backlog
+	spans         []telemetry.SpanRecord
+	total         uint64 // completed scrape rounds
+
+	droppedCtr *telemetry.Counter // fleet.alerts.dropped on the host hub; nil no-op
 
 	loopStop chan struct{}
 }
@@ -109,6 +122,9 @@ func New(rt *rmi.Runtime, peers []transport.Addr, opts ...Option) *Collector {
 		rules:    cfg.rules,
 		flight:   cfg.flight,
 		states:   make(map[transport.Addr]*peerState),
+	}
+	if m := rt.Telemetry().Metrics(); m != nil {
+		c.droppedCtr = m.Counter("fleet.alerts.dropped")
 	}
 	seen := make(map[transport.Addr]bool, len(peers))
 	for _, p := range peers {
@@ -163,6 +179,12 @@ func (c *Collector) ScrapeOnce() *telemetry.FleetSnapshot {
 		st.metrics = chunk.Metrics
 		st.profile = chunk.Profile
 		st.scrapes++
+		if len(chunk.Spans) > 0 {
+			c.spans = append(c.spans, chunk.Spans...)
+			if excess := len(c.spans) - spanBufferCap; excess > 0 {
+				c.spans = append([]telemetry.SpanRecord(nil), c.spans[excess:]...)
+			}
+		}
 		c.mu.Unlock()
 	}
 
@@ -214,8 +236,10 @@ func (c *Collector) evaluateLocked(snap *telemetry.FleetSnapshot, nowNS int64) {
 			})
 		}
 	}
-	if len(c.alerts) > maxAlerts {
-		c.alerts = append([]telemetry.Alert(nil), c.alerts[len(c.alerts)-maxAlerts:]...)
+	if excess := len(c.alerts) - maxAlerts; excess > 0 {
+		c.alerts = append([]telemetry.Alert(nil), c.alerts[excess:]...)
+		c.alertsDropped += uint64(excess)
+		c.droppedCtr.Add(uint64(excess))
 	}
 	// Roll the per-site counter baselines forward for the rate rules.
 	for _, peer := range c.peers {
@@ -248,11 +272,96 @@ func (c *Collector) FleetSnapshot(refresh bool) (*telemetry.FleetSnapshot, error
 }
 
 // FleetAlerts implements admin.FleetSource: the retained alert backlog,
-// oldest first.
-func (c *Collector) FleetAlerts() []telemetry.Alert {
+// oldest first, plus how many alerts the bounded backlog has evicted
+// since the collector started — so an operator reading a full window
+// knows it is a window, not the whole history.
+func (c *Collector) FleetAlerts() ([]telemetry.Alert, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]telemetry.Alert(nil), c.alerts...)
+	return append([]telemetry.Alert(nil), c.alerts...), c.alertsDropped
+}
+
+// FleetSlow implements admin.FleetSource: the fleet's worst recent traced
+// demands. Tail exemplars from every peer's scraped duration histograms
+// are ranked (value descending; site, metric, trace id ascending on ties)
+// and resolved against the collector's span buffer, so each result
+// carries the cross-site spans needed to print its critical path. At most
+// max results (all when max <= 0).
+func (c *Collector) FleetSlow(max int) []telemetry.SlowTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []telemetry.SlowTrace
+	for _, peer := range c.peers {
+		st := c.states[peer]
+		if st.metrics == nil {
+			continue
+		}
+		for _, hist := range st.metrics.Histograms {
+			if !strings.HasSuffix(hist.Name, "_ns") {
+				continue
+			}
+			for _, ex := range hist.Exemplars {
+				out = append(out, telemetry.SlowTrace{
+					Site: string(peer), Metric: hist.Name,
+					ValueNS: ex.Value, TraceID: ex.TraceID,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ValueNS != b.ValueNS {
+			return a.ValueNS > b.ValueNS
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		return a.TraceID < b.TraceID
+	})
+	// One entry per trace: the same demand may have been sampled by
+	// several sites' instruments — the fleet ranking keeps its worst
+	// sample only.
+	seen := make(map[uint64]bool, len(out))
+	uniq := out[:0]
+	for _, st := range out {
+		if seen[st.TraceID] {
+			continue
+		}
+		seen[st.TraceID] = true
+		uniq = append(uniq, st)
+	}
+	out = uniq
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	byTrace := make(map[uint64][]telemetry.SpanRecord)
+	for _, sp := range c.spans {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for i := range out {
+		out[i].Spans = byTrace[out[i].TraceID]
+	}
+	return out
+}
+
+// Attribution implements admin.FleetSource: the fleet's aggregated
+// critical-path profile, built by extracting the slowest causal chain of
+// every complete trace in the collector's span buffer. The profile is a
+// pure function of the buffered spans, so a quiesced virtual-clock fleet
+// yields a byte-stable answer.
+func (c *Collector) Attribution() *telemetry.AttributionProfile {
+	c.mu.Lock()
+	spans := append([]telemetry.SpanRecord(nil), c.spans...)
+	c.mu.Unlock()
+	b := telemetry.NewAttributionBuilder()
+	b.AddTrees(telemetry.BuildTrees(spans))
+	return b.Profile("fleet", c.rt.Clock().Now().UnixNano())
 }
 
 // Scrapes returns how many scrape rounds have completed.

@@ -432,6 +432,11 @@ func (e *Engine) assemble(sc telemetry.SpanContext, root *heap.Entry, spec GetSp
 		span.SetErr(err)
 		span.End()
 	}()
+	if span != nil {
+		clk := e.rt.Clock()
+		start := clk.Now()
+		defer func() { span.Phase(telemetry.PhaseAssemble, clk.Now().Sub(start)) }() // runs before the End defer above
+	}
 	spec = spec.normalize()
 	limit := heap.TraverseLimit{MaxDepth: spec.Depth}
 	if spec.Mode == Incremental {
@@ -768,7 +773,7 @@ func (e *Engine) PutTraced(sc telemetry.SpanContext, obj any) (err error) {
 	if err != nil {
 		return err
 	}
-	res, winner, err := e.callFailover(span.Context(), entry.OID, prov, BulkTimeout, true, "Put", req)
+	res, winner, err := e.callFailover(span, entry.OID, prov, BulkTimeout, true, "Put", req)
 	if err != nil {
 		return fmt.Errorf("replication: put %v: %w", entry.OID, e.failUnavailable("put", entry.OID, span.Context(), err))
 	}
@@ -832,7 +837,7 @@ func (e *Engine) PutClusterTraced(sc telemetry.SpanContext, obj any) (err error)
 	if prov.IsZero() {
 		return ErrNoProvider
 	}
-	res, winner, err := e.callFailover(span.Context(), root, prov, BulkTimeout, true, "PutCluster", creq)
+	res, winner, err := e.callFailover(span, root, prov, BulkTimeout, true, "PutCluster", creq)
 	if err != nil {
 		return fmt.Errorf("replication: put cluster %v: %w", root, e.failUnavailable("put.cluster", root, span.Context(), err))
 	}
@@ -899,6 +904,11 @@ func (e *Engine) applyPut(sc telemetry.SpanContext, req *PutRequest) (reply *Put
 		span.SetErr(err)
 		span.End()
 	}()
+	if span != nil {
+		clk := e.rt.Clock()
+		start := clk.Now()
+		defer func() { span.Phase(telemetry.PhaseApply, clk.Now().Sub(start)) }()
+	}
 	entry, ok := e.heap.Get(objmodel.OID(req.OID))
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", heap.ErrUnknownObject, req.OID)
@@ -930,7 +940,17 @@ func (e *Engine) applyPut(sc telemetry.SpanContext, req *PutRequest) (reply *Put
 	e.mu.Lock()
 	e.appliedPuts[entry.OID] = appliedPut{base: req.BaseVersion, crc: crc, version: v}
 	e.mu.Unlock()
-	if err := e.journalMaster(entry); err != nil {
+	if span != nil {
+		// The journal write is the durability cost of the put: encode +
+		// WAL append + group-commit fsync. Billed as the fsync phase so
+		// attribution separates "the disk is slow" from apply proper.
+		clk := e.rt.Clock()
+		jStart := clk.Now()
+		if err := e.journalMaster(entry); err != nil {
+			return nil, err
+		}
+		span.Phase(telemetry.PhaseFsync, clk.Now().Sub(jStart))
+	} else if err := e.journalMaster(entry); err != nil {
 		return nil, err
 	}
 	e.getPolicy().MasterUpdated(entry.OID, v)
@@ -973,7 +993,7 @@ func (e *Engine) RefreshTraced(sc telemetry.SpanContext, obj any) (err error) {
 		spec = GetSpec{Mode: Incremental, Batch: len(e.clusters[entry.ClusterRoot()]), Clustered: true}
 		e.mu.Unlock()
 	}
-	res, _, err := e.callFailover(span.Context(), entry.OID, prov, BulkTimeout, true, "Get", &spec, string(e.rt.Addr()))
+	res, _, err := e.callFailover(span, entry.OID, prov, BulkTimeout, true, "Get", &spec, string(e.rt.Addr()))
 	if err != nil {
 		return fmt.Errorf("replication: refresh %v: %w", entry.OID, e.failUnavailable("refresh", entry.OID, span.Context(), err))
 	}

@@ -109,8 +109,11 @@ const failoverPause = 50 * time.Millisecond
 // (idempotent) and Put/PutCluster (the replicated dedupe guard makes a
 // second arrival return the recorded reply), NOT for Invoke. It returns
 // the reply plus the member that answered, so callers can re-pin
-// providers to the new leader.
-func (e *Engine) callFailover(sc telemetry.SpanContext, oid objmodel.OID, prov rmi.RemoteRef, timeout time.Duration, rotate bool, method string, args ...any) ([]any, rmi.RemoteRef, error) {
+// providers to the new leader. Time spent parked in failoverPause —
+// waiting out an election — is attributed to the caller's span as
+// elect.wait (a nil span drops the attribution, nothing else).
+func (e *Engine) callFailover(span *telemetry.Span, oid objmodel.OID, prov rmi.RemoteRef, timeout time.Duration, rotate bool, method string, args ...any) ([]any, rmi.RemoteRef, error) {
+	sc := span.Context()
 	res, err := e.rt.CallTracedTimeout(sc, prov, timeout, method, args...)
 	if err == nil {
 		return res, prov, nil
@@ -146,6 +149,7 @@ func (e *Engine) callFailover(sc telemetry.SpanContext, oid objmodel.OID, prov r
 					return nil, cur, err
 				}
 				clock.Sleep(failoverPause)
+				span.Phase(telemetry.PhaseElectWait, failoverPause)
 				tried = map[transport.Addr]bool{}
 				continue
 			}

@@ -169,7 +169,7 @@ func (p *ProxyOut) demand(sc telemetry.SpanContext, spec GetSpec) (obj any, inv 
 			return entry.Obj, p.remoteForEntry(entry), nil
 		}
 	}
-	res, winner, err := p.eng.callFailover(span.Context(), p.oid, p.provider, BulkTimeout, true, "Get", &spec, string(p.eng.rt.Addr()))
+	res, winner, err := p.eng.callFailover(span, p.oid, p.provider, BulkTimeout, true, "Get", &spec, string(p.eng.rt.Addr()))
 	if err != nil {
 		return nil, nil, fmt.Errorf("demand %v from %v: %w", p.oid, p.provider, p.eng.failUnavailable("demand", p.oid, span.Context(), err))
 	}
@@ -202,7 +202,7 @@ func (p *ProxyOut) remoteForEntry(e *heap.Entry) objmodel.RemoteInvoker {
 // (a not-leader refusal guarantees the invoke did not run), but transient
 // failures are NOT re-routed: an invoke is not idempotent.
 func (p *ProxyOut) RemoteInvoke(method string, args []any) ([]any, error) {
-	res, _, err := p.eng.callFailover(telemetry.SpanContext{}, p.oid, p.provider, p.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
+	res, _, err := p.eng.callFailover(nil, p.oid, p.provider, p.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
 	if err != nil {
 		return nil, p.eng.failUnavailable("invoke", p.oid, telemetry.SpanContext{}, err)
 	}
@@ -238,7 +238,7 @@ type remoteInvoker struct {
 var _ objmodel.RemoteInvoker = (*remoteInvoker)(nil)
 
 func (ri *remoteInvoker) RemoteInvoke(method string, args []any) ([]any, error) {
-	res, _, err := ri.eng.callFailover(telemetry.SpanContext{}, ri.oid, ri.provider, ri.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
+	res, _, err := ri.eng.callFailover(nil, ri.oid, ri.provider, ri.eng.rt.DefaultCallTimeout(), false, "Invoke", method, args)
 	if err != nil {
 		return nil, ri.eng.failUnavailable("invoke", ri.oid, telemetry.SpanContext{}, err)
 	}

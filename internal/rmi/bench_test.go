@@ -160,6 +160,57 @@ func BenchmarkCallProfile(b *testing.B) {
 	})
 }
 
+// BenchmarkCallAttribution prices the phase-annotation layer added for
+// critical-path attribution. "off" runs a hub-less pair and must match
+// BenchmarkCallNull alloc-for-alloc — every phase measurement is behind
+// the same nil checks as the rest of the telemetry surface, so the
+// disabled path gains no clock reads and no allocations. "on-traced"
+// runs fully traced calls: client span with net/backoff phases and a
+// latency exemplar, server span with queue/serve phases — the armed
+// price of knowing where the time went.
+func BenchmarkCallAttribution(b *testing.B) {
+	run := func(b *testing.B, server, client *Runtime, sc telemetry.SpanContext) {
+		b.Helper()
+		ref, err := server.Export(&calculator{}, "Calculator")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.CallTraced(sc, ref, "Total"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.CallTraced(sc, ref, "Total"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		server, client := benchPair(b)
+		run(b, server, client, telemetry.SpanContext{})
+	})
+	b.Run("on-traced", func(b *testing.B) {
+		net := transport.NewMemNetwork(netsim.Profile{Name: "zero"})
+		server, err := NewRuntime(net, "server", WithTelemetry(telemetry.NewHub("server")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hub := telemetry.NewHub("client")
+		client, err := NewRuntime(net, "client", WithTelemetry(hub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			_ = client.Close()
+			_ = server.Close()
+		})
+		root := hub.StartRoot("bench")
+		defer root.End()
+		run(b, server, client, root.Context())
+	})
+}
+
 func BenchmarkCallWithBytes(b *testing.B) {
 	server, client := benchPair(b)
 	ref, err := server.Export(&calculator{}, "Calculator")

@@ -238,9 +238,11 @@ func (rt *Runtime) CallTraced(sc telemetry.SpanContext, ref RemoteRef, method st
 // CallTracedTimeout is CallTraced with an explicit deadline.
 func (rt *Runtime) CallTracedTimeout(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args ...any) ([]any, error) {
 	start := rt.clock.Now()
-	results, err := rt.doCall(sc, ref, timeout, method, args)
+	results, tid, err := rt.doCall(sc, ref, timeout, method, args)
 	rtt := rt.clock.Now().Sub(start)
-	rt.met.latency.ObserveDuration(rtt)
+	// Traced calls keep tail exemplars (tid 0 — untraced — degrades to a
+	// plain observation), so `obiwan-admin slow` can name the worst calls.
+	rt.met.latency.ObserveExemplar(int64(rtt), tid)
 	if rt.observer != nil {
 		rt.observer(ref.Addr, method, rtt, err)
 	}
@@ -259,9 +261,9 @@ func (rt *Runtime) CallTracedTimeout(sc telemetry.SpanContext, ref RemoteRef, ti
 // rather than minting siblings, and the frame (encoded once) carries the
 // same span context on every resend, so the server parents at most one
 // serve span under it.
-func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, error) {
+func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.Duration, method string, args []any) ([]any, uint64, error) {
 	if ref.IsZero() {
-		return nil, fmt.Errorf("rmi: call %s on zero reference", method)
+		return nil, 0, fmt.Errorf("rmi: call %s on zero reference", method)
 	}
 	rt.mu.Lock()
 	rt.nextSeq++
@@ -279,7 +281,7 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 		span = rt.tel.StartSpan(sc, "rmi:"+method)
 		wireSC = span.Context()
 	}
-	finish := func(results []any, err error) ([]any, error) {
+	finish := func(results []any, err error) ([]any, uint64, error) {
 		span.SetErr(err)
 		span.End()
 		if err != nil && rt.flight != nil {
@@ -288,7 +290,7 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 				Detail: method + " to " + string(ref.Addr), Err: err.Error(),
 			})
 		}
-		return results, err
+		return results, wireSC.TraceID, err
 	}
 
 	frame, err := wire.EncodeCall(rt.reg, &wire.Call{
@@ -315,7 +317,10 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 					Detail: method + " to " + string(ref.Addr) + " attempt=" + strconv.Itoa(attempt),
 				})
 			}
-			if !rt.sleepBackoff(attempt-1, deadline) {
+			backoffStart := rt.clock.Now()
+			slept := rt.sleepBackoff(attempt-1, deadline)
+			span.Phase(telemetry.PhaseRetryBackoff, rt.clock.Now().Sub(backoffStart))
+			if !slept {
 				select {
 				case <-rt.closed:
 					return finish(nil, ErrRuntimeClosed)
@@ -388,9 +393,11 @@ func (rt *Runtime) doCall(sc telemetry.SpanContext, ref RemoteRef, timeout time.
 			conn.unregister(id)
 			return finish(nil, timeoutErr())
 		}
+		netStart := rt.clock.Now()
 		expiry := rt.clock.AfterFunc(wait, w.expire)
 		msg, ok := w.await()
 		expiry.Stop()
+		span.Phase(telemetry.PhaseNet, rt.clock.Now().Sub(netStart))
 		if !ok {
 			conn.unregister(id)
 			lastErr = timeoutErr()

@@ -12,6 +12,7 @@ import (
 	"obiwan/internal/objmodel"
 	"obiwan/internal/replication"
 	"obiwan/internal/rmi"
+	"obiwan/internal/telemetry"
 	"obiwan/internal/transport"
 )
 
@@ -319,4 +320,110 @@ func BenchmarkCallFleet(b *testing.B) {
 	}
 	b.Run("plain", func(b *testing.B) { bench(b, false) })
 	b.Run("observed", func(b *testing.B) { bench(b, true) })
+}
+
+// TestFleetAlertBacklogOverflow: the watchdog backlog is bounded — when
+// more alerts fire than it retains, the oldest fall off the front, the
+// eviction is counted (never silent), the count travels over the admin
+// endpoint, and the rendered table says the record is incomplete.
+func TestFleetAlertBacklogOverflow(t *testing.T) {
+	// Threshold 0 on a fleet-wide p99 rule fires one alert per site with
+	// traffic plus one for the merged view on every scrape.
+	_, hub, _, mobile := fleetWorld(t, fleet.WithRules([]fleet.Rule{
+		{Name: "any-latency", Kind: fleet.RuleP99, Metric: "rmi.call.latency_ns", FleetWide: true},
+	}))
+	col := hub.Fleet()
+	var alerts []telemetry.Alert
+	var dropped uint64
+	for i := 0; i < 120; i++ {
+		col.ScrapeOnce()
+		if alerts, dropped = col.FleetAlerts(); dropped > 0 {
+			break
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("backlog never overflowed after 120 alert-firing scrapes")
+	}
+	if len(alerts) != 256 {
+		t.Fatalf("backlog holds %d alerts, want the 256 cap", len(alerts))
+	}
+	// The eviction surfaces as a counter on the hub's own telemetry, so
+	// the overflow is itself observable (and scrape-able) fleet state.
+	if got := hub.Telemetry().MetricsSnapshot().Get("fleet.alerts.dropped"); got != dropped {
+		t.Fatalf("fleet.alerts.dropped counter = %d, want %d", got, dropped)
+	}
+	// Over the admin endpoint: the chunk carries the dropped count, and
+	// the rendered table warns that the window is incomplete.
+	chunk, err := admin.NewClient(mobile.Runtime(), AdminRef("hub")).FleetAlerts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk.Dropped != dropped || len(chunk.Alerts) != len(alerts) {
+		t.Fatalf("alert chunk dropped=%d alerts=%d, want %d/%d",
+			chunk.Dropped, len(chunk.Alerts), dropped, len(alerts))
+	}
+	out := telemetry.FormatAlerts(chunk.Alerts, chunk.Dropped)
+	if !strings.Contains(out, fmt.Sprintf("fleet.alerts.dropped=%d", dropped)) {
+		t.Fatalf("rendered alerts hide the eviction:\n%s", out)
+	}
+}
+
+// TestFleetSlowAndAttributionOverRMI: the tail-exemplar pipeline works
+// end to end over the real wire — per-site slow traces resolve spans, the
+// fleet ranking folds every site's exemplars, and the aggregated
+// attribution profile extracts critical paths from the scraped spans.
+func TestFleetSlowAndAttributionOverRMI(t *testing.T) {
+	_, hub, _, mobile := fleetWorld(t)
+	hub.Fleet().ScrapeOnce()
+
+	// Per-site: the mobile recorded latency exemplars for its traced
+	// demand faults; its admin Slow endpoint resolves them locally.
+	slow, err := admin.NewClient(mobile.Runtime(), AdminRef("mobile")).Slow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Traces) == 0 {
+		t.Fatal("mobile recorded no slow traces despite traced demand faults")
+	}
+	st := slow.Traces[0]
+	if st.Site != "mobile" || st.ValueNS <= 0 || len(st.Spans) == 0 {
+		t.Fatalf("slow trace: %+v", st)
+	}
+	if cp := st.Path(); len(cp.Steps) == 0 {
+		t.Fatalf("slow trace yields empty critical path: %+v", st)
+	}
+	if st.Format() != st.Format() {
+		t.Fatal("slow trace renders differ between calls")
+	}
+
+	// Fleet-wide: the hub ranks exemplars across all scraped sites and
+	// resolves spans from its buffer — spans that crossed sites included.
+	fleetSlow, err := admin.NewClient(mobile.Runtime(), AdminRef("hub")).FleetSlow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleetSlow.Traces) == 0 {
+		t.Fatal("fleet slow is empty after a scrape")
+	}
+	for i := 1; i < len(fleetSlow.Traces); i++ {
+		if fleetSlow.Traces[i].ValueNS > fleetSlow.Traces[i-1].ValueNS {
+			t.Fatalf("fleet slow not value-descending: %+v", fleetSlow.Traces)
+		}
+	}
+
+	// Aggregated attribution: at least the demand paths land, and the
+	// profile renders deterministically.
+	prof, err := admin.NewClient(mobile.Runtime(), AdminRef("hub")).FleetAttribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Paths == 0 {
+		t.Fatalf("attribution profile extracted no paths: %+v", prof)
+	}
+	if len(prof.PhaseNames()) == 0 {
+		t.Fatal("attribution profile has no phases")
+	}
+	if prof.Format() != prof.Format() {
+		t.Fatal("attribution renders differ between calls")
+	}
 }

@@ -340,9 +340,11 @@ func (g *Group) submit(cmd *groupCmd) (any, error) {
 // RoutePut implements replication.MasterGate: leader-side admission
 // (exactly-once dedupe fast path + consistency policy), then agree the
 // put through the log. The MasterUpdated hook fires here — at the leader,
-// once per agreed update — never in replay.
+// once per agreed update — never in replay. When the put was traced, the
+// Submit-to-apply wait runs under a "group.submit" child span whose time
+// is attributed as submit.wait, so critical paths show consensus
+// round-trips as their own phase.
 func (g *Group) RoutePut(sc telemetry.SpanContext, req *replication.PutRequest) (*replication.PutReply, error) {
-	_ = sc
 	if err := g.CheckServe(); err != nil {
 		return nil, err
 	}
@@ -353,7 +355,19 @@ func (g *Group) RoutePut(sc telemetry.SpanContext, req *replication.PutRequest) 
 	if done {
 		return reply, nil
 	}
+	var span *telemetry.Span
+	var start time.Time
+	if g.site.tel.Enabled() && sc.Valid() {
+		span = g.site.tel.StartSpan(sc, "group.submit")
+		span.Annotate("oid", fmt.Sprint(req.OID))
+		start = g.site.tel.Now()
+	}
 	res, err := g.submit(&groupCmd{Kind: cmdPut, OID: req.OID, Put: req})
+	if span != nil {
+		span.Phase(telemetry.PhaseSubmitWait, g.site.tel.Now().Sub(start))
+		span.SetErr(err)
+		span.End()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -172,6 +172,7 @@ type Site struct {
 		refreshedStale *telemetry.Counter
 		compactions    *telemetry.Counter
 		walFsync       *telemetry.Histogram
+		walFsyncWait   *telemetry.Histogram
 		staleReplicas  *telemetry.Gauge
 	}
 
@@ -283,6 +284,7 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		s.met.refreshedStale = m.Counter("site.refresh.stale")
 		s.met.compactions = m.Counter("wal.compactions")
 		s.met.walFsync = m.Histogram("wal.fsync_ns")
+		s.met.walFsyncWait = m.Histogram("wal.fsync.wait_ns")
 		s.met.staleReplicas = m.Gauge("site.stale.replicas")
 		// The gauge tracks the stale ledger through its observer hook, so
 		// every mutation path (invalidation sink, self-notify, refresh)
@@ -292,10 +294,21 @@ func New(name string, network transport.Network, opts ...Option) (*Site, error) 
 		s.stale.SetObserver(func(n int) { gauge.Set(int64(n)) })
 	}
 	if store != nil && hub.Enabled() {
-		// Bridge WAL fsync timings into the registry without the wal
-		// package importing telemetry. ObserveDuration is lock-free, so
-		// running it under the store's sync mutex is fine.
-		store.SetSyncObserver(s.met.walFsync.ObserveDuration)
+		// Bridge WAL group-commit timings into the registry without the
+		// wal package importing telemetry: fsync proper and the time a
+		// writer spent queued behind another writer's sync land in
+		// separate histograms, so attribution can tell "the disk is
+		// slow" from "the commit queue is deep". ObserveDuration is
+		// lock-free, so running it under the store's sync mutex is fine.
+		fsyncH, waitH := s.met.walFsync, s.met.walFsyncWait
+		store.SetSyncObserver(func(wait, fsync time.Duration) {
+			if wait > 0 {
+				waitH.ObserveDuration(wait)
+			}
+			if fsync > 0 {
+				fsyncH.ObserveDuration(fsync)
+			}
+		})
 	}
 
 	// The invalidation sink is always exported first and the update sink

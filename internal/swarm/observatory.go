@@ -48,6 +48,13 @@ type FleetObservation struct {
 	// Alerts is how many SLO watchdog alerts fired across the run's
 	// scrapes (also recorded in the hub's flight recorder as slo.* events).
 	Alerts int `json:"alerts"`
+	// AlertsDropped counts alerts the collector's bounded backlog evicted.
+	AlertsDropped uint64 `json:"alerts_dropped,omitempty"`
+	// Attribution is the fleet's aggregated critical-path profile at the
+	// converged probe: per-phase time distributions over every complete
+	// trace the collector scraped. Deterministic per seed under the
+	// virtual clock.
+	Attribution *telemetry.AttributionProfile `json:"attribution,omitempty"`
 }
 
 // probe points inside run().
@@ -76,8 +83,11 @@ func (sw *Swarm) observe(at probePoint) {
 		sw.obs.AfterOps = p
 	case probeConverged:
 		sw.obs.Converged = p
+		sw.obs.Attribution = col.Attribution()
 	}
-	sw.obs.Alerts = len(col.FleetAlerts())
+	alerts, dropped := col.FleetAlerts()
+	sw.obs.Alerts = len(alerts)
+	sw.obs.AlertsDropped = dropped
 	sw.mu.Unlock()
 }
 

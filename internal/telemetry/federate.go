@@ -58,6 +58,19 @@ func (h HistogramValue) Merge(o HistogramValue) HistogramValue {
 	out.P50 = bucketQuantile(out.Buckets, out.Count, 0.50, out.Min, out.Max)
 	out.P90 = bucketQuantile(out.Buckets, out.Count, 0.90, out.Min, out.Max)
 	out.P99 = bucketQuantile(out.Buckets, out.Count, 0.99, out.Min, out.Max)
+	// Exemplars: keep the largest histExemplars of the union under the
+	// canonical total order (value desc, trace asc). Top-K under a total
+	// order is associative, so pairwise folds stay order-independent.
+	if len(h.Exemplars) > 0 || len(o.Exemplars) > 0 {
+		ex := make([]Exemplar, 0, len(h.Exemplars)+len(o.Exemplars))
+		ex = append(ex, h.Exemplars...)
+		ex = append(ex, o.Exemplars...)
+		sortExemplars(ex)
+		if len(ex) > histExemplars {
+			ex = ex[:histExemplars]
+		}
+		out.Exemplars = ex
+	}
 	return out
 }
 
@@ -295,17 +308,23 @@ func (f *FleetSnapshot) Format() string {
 }
 
 // FormatAlerts renders watchdog alerts as an aligned table (the
-// obiwan-admin fleet alerts output).
-func FormatAlerts(alerts []Alert) string {
-	if len(alerts) == 0 {
-		return "no alerts\n"
-	}
+// obiwan-admin fleet alerts output). dropped is the count of alerts the
+// bounded backlog evicted before this read; non-zero means the table is
+// an incomplete record and says so.
+func FormatAlerts(alerts []Alert, dropped uint64) string {
 	var b strings.Builder
-	t := stats.NewTable("at", "rule", "site", "metric", "value", "threshold", "detail")
-	for _, a := range alerts {
-		t.AddRow(time.Unix(0, a.AtNS).UTC().Format("15:04:05.000"), a.Rule, a.Site, a.Metric,
-			fmt.Sprintf("%.0f", a.Value), fmt.Sprintf("%.0f", a.Threshold), a.Detail)
+	if len(alerts) == 0 {
+		b.WriteString("no alerts\n")
+	} else {
+		t := stats.NewTable("at", "rule", "site", "metric", "value", "threshold", "detail")
+		for _, a := range alerts {
+			t.AddRow(time.Unix(0, a.AtNS).UTC().Format("15:04:05.000"), a.Rule, a.Site, a.Metric,
+				fmt.Sprintf("%.0f", a.Value), fmt.Sprintf("%.0f", a.Threshold), a.Detail)
+		}
+		_, _ = t.WriteTo(&b)
 	}
-	_, _ = t.WriteTo(&b)
+	if dropped > 0 {
+		fmt.Fprintf(&b, "fleet.alerts.dropped=%d (backlog overflowed; oldest alerts evicted)\n", dropped)
+	}
 	return b.String()
 }

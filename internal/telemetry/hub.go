@@ -1,6 +1,10 @@
 package telemetry
 
-import "time"
+import (
+	"sort"
+	"strings"
+	"time"
+)
 
 // Hub bundles one site's tracer, metrics registry, per-object profiler,
 // and flight recorder. A nil *Hub is the disabled state: every method
@@ -171,4 +175,67 @@ func (h *Hub) ProfileSnapshot(topK int) *ProfileSnapshot {
 		return &ProfileSnapshot{}
 	}
 	return h.profiler.Snapshot(h.site, h.clock().UnixNano(), topK)
+}
+
+// SlowTraces resolves the tail exemplars of every duration histogram
+// ("_ns"-suffixed) against the tracer ring: the worst recent traced
+// demands, value-descending (metric name ascending, trace id ascending on
+// ties), at most max (all when max <= 0). Each result carries every
+// retained span of its trace, so callers can print the annotated
+// critical path without another round trip. Nil when disabled.
+func (h *Hub) SlowTraces(max int) []SlowTrace {
+	if h == nil {
+		return nil
+	}
+	snap := h.metrics.Snapshot(h.site, h.clock().UnixNano())
+	var out []SlowTrace
+	for _, hist := range snap.Histograms {
+		if !strings.HasSuffix(hist.Name, "_ns") {
+			continue
+		}
+		for _, ex := range hist.Exemplars {
+			out = append(out, SlowTrace{
+				Site: h.site, Metric: hist.Name,
+				ValueNS: ex.Value, TraceID: ex.TraceID,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ValueNS != b.ValueNS {
+			return a.ValueNS > b.ValueNS
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		return a.TraceID < b.TraceID
+	})
+	// One entry per trace: several instruments (or several observations
+	// on one instrument) may have sampled the same demand — the ranking
+	// keeps its worst sample only.
+	seen := make(map[uint64]bool, len(out))
+	uniq := out[:0]
+	for _, st := range out {
+		if seen[st.TraceID] {
+			continue
+		}
+		seen[st.TraceID] = true
+		uniq = append(uniq, st)
+	}
+	out = uniq
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	spans := h.tracer.Snapshot(0)
+	byTrace := make(map[uint64][]SpanRecord)
+	for _, sp := range spans {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for i := range out {
+		out[i].Spans = byTrace[out[i].TraceID]
+	}
+	return out
 }

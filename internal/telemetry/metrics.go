@@ -79,22 +79,43 @@ type histShard struct {
 	_       [64]byte // shard padding against false sharing
 }
 
+// histExemplars bounds how many tail exemplars a histogram retains.
+const histExemplars = 8
+
+// Exemplar ties one tail sample to the trace that produced it — the
+// evidence `obiwan-admin slow` resolves back into an annotated critical
+// path.
+type Exemplar struct {
+	Value   int64
+	TraceID uint64
+}
+
 // Histogram is a lock-free sharded streaming histogram over non-negative
 // int64 values (durations in nanoseconds, sizes, counts). Observations
 // land in power-of-two buckets, so memory is fixed no matter how many
 // samples arrive; percentiles are bucket-resolution estimates. A nil
 // *Histogram no-ops.
+//
+// Traced observations (ObserveExemplar) additionally keep the
+// histExemplars largest samples' trace ids. The hot path pays one atomic
+// floor check; only samples that belong in the retained tail take the
+// exemplar lock.
 type Histogram struct {
 	shards [histShards]histShard
 	pick   atomic.Uint32
 	min    atomic.Int64
 	max    atomic.Int64
+
+	exFloor atomic.Int64 // smallest retained exemplar (MinInt64 until full)
+	exMu    sync.Mutex
+	ex      []Exemplar
 }
 
 func newHistogram() *Histogram {
 	h := &Histogram{}
 	h.min.Store(math.MaxInt64)
 	h.max.Store(math.MinInt64)
+	h.exFloor.Store(math.MinInt64)
 	return h
 }
 
@@ -122,6 +143,54 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when it lands in the retained
+// tail, remembers the trace that produced it. traceID 0 (untraced call)
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	h.Observe(v)
+	if h == nil || traceID == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v < h.exFloor.Load() {
+		return
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.ex) < histExemplars {
+		h.ex = append(h.ex, Exemplar{Value: v, TraceID: traceID})
+		if len(h.ex) == histExemplars {
+			h.exFloor.Store(h.exMin())
+		}
+		return
+	}
+	mi := 0
+	for i := range h.ex {
+		if h.ex[i].Value < h.ex[mi].Value {
+			mi = i
+		}
+	}
+	// Strict >: on a tie the earliest-recorded exemplar wins, so replays
+	// of a deterministic run retain identical trace ids.
+	if v > h.ex[mi].Value {
+		h.ex[mi] = Exemplar{Value: v, TraceID: traceID}
+		h.exFloor.Store(h.exMin())
+	}
+}
+
+// exMin returns the smallest retained exemplar value. Call with exMu held.
+func (h *Histogram) exMin() int64 {
+	lo := h.ex[0].Value
+	for _, e := range h.ex[1:] {
+		if e.Value < lo {
+			lo = e.Value
+		}
+	}
+	return lo
 }
 
 // ObserveDuration records d in nanoseconds.
@@ -160,7 +229,25 @@ func (h *Histogram) snapshot(name string) HistogramValue {
 	out.P50 = quantile(merged[:], out.Count, 0.50, out.Min, out.Max)
 	out.P90 = quantile(merged[:], out.Count, 0.90, out.Min, out.Max)
 	out.P99 = quantile(merged[:], out.Count, 0.99, out.Min, out.Max)
+	h.exMu.Lock()
+	if len(h.ex) > 0 {
+		out.Exemplars = append([]Exemplar(nil), h.ex...)
+	}
+	h.exMu.Unlock()
+	sortExemplars(out.Exemplars)
 	return out
+}
+
+// sortExemplars orders exemplars by the canonical total order: value
+// descending, trace id ascending — what snapshot, Merge, and the slow
+// command all render.
+func sortExemplars(ex []Exemplar) {
+	sort.Slice(ex, func(i, j int) bool {
+		if ex[i].Value != ex[j].Value {
+			return ex[i].Value > ex[j].Value
+		}
+		return ex[i].TraceID < ex[j].TraceID
+	})
 }
 
 // quantile estimates the q-th quantile from power-of-two buckets: the
@@ -211,17 +298,19 @@ type GaugeValue struct {
 }
 
 // HistogramValue is one exported histogram: totals, bucket-resolution
-// percentiles, and the non-empty buckets themselves.
+// percentiles, the non-empty buckets themselves, and the tail exemplars
+// (largest traced samples, value-descending).
 type HistogramValue struct {
-	Name    string
-	Count   uint64
-	Sum     int64
-	Min     int64
-	Max     int64
-	P50     int64
-	P90     int64
-	P99     int64
-	Buckets []BucketCount
+	Name      string
+	Count     uint64
+	Sum       int64
+	Min       int64
+	Max       int64
+	P50       int64
+	P90       int64
+	P99       int64
+	Buckets   []BucketCount
+	Exemplars []Exemplar
 }
 
 // MetricsSnapshot is a site's full metrics state at one instant, sorted
@@ -236,6 +325,7 @@ type MetricsSnapshot struct {
 
 func init() {
 	codec.MustRegister("obiwan.telemetry.BucketCount", BucketCount{})
+	codec.MustRegister("obiwan.telemetry.Exemplar", Exemplar{})
 	codec.MustRegister("obiwan.telemetry.CounterValue", CounterValue{})
 	codec.MustRegister("obiwan.telemetry.GaugeValue", GaugeValue{})
 	codec.MustRegister("obiwan.telemetry.HistogramValue", HistogramValue{})

@@ -41,6 +41,44 @@ type SpanContext struct {
 // Valid reports whether sc names a real span.
 func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
 
+// PhaseSegment attributes part of a span's self-time to one of the typed
+// phases of the demand pipeline (see the Phase* constants). Durations are
+// measured on the owning runtime's clock, so virtual-clock runs attribute
+// deterministically.
+type PhaseSegment struct {
+	Phase string
+	NS    int64
+}
+
+// The phase taxonomy: every nanosecond a critical path attributes falls
+// into one of these buckets (or stays "unattributed" — span time no
+// instrumentation point claimed).
+const (
+	// PhaseQueue is time an inbound frame waited before dispatch.
+	PhaseQueue = "queue"
+	// PhaseNet is time an outbound call spent waiting for the reply.
+	PhaseNet = "net"
+	// PhaseServe is handler execution on the serving site.
+	PhaseServe = "serve"
+	// PhaseAssemble is payload assembly (graph traversal + capture).
+	PhaseAssemble = "assemble"
+	// PhaseApply is update application at the master (restore + journal).
+	PhaseApply = "apply"
+	// PhaseFsyncWait is time queued behind another caller's group commit.
+	PhaseFsyncWait = "fsync.wait"
+	// PhaseFsync is the WAL's own fsync system call.
+	PhaseFsync = "fsync"
+	// PhaseElectWait is time stalled on leader election/failover rotation.
+	PhaseElectWait = "elect.wait"
+	// PhaseRetryBackoff is time slept between RMI retry attempts.
+	PhaseRetryBackoff = "retry.backoff"
+	// PhaseSubmitWait is Submit-to-apply wait in the consensus log.
+	PhaseSubmitWait = "submit.wait"
+	// PhaseUnattributed labels the critical-path remainder no segment
+	// claimed. Never recorded on spans; produced by attribution only.
+	PhaseUnattributed = "unattributed"
+)
+
 // SpanRecord is one finished span, as exported over the admin service.
 // Times are nanoseconds on the owning site's (possibly injected) clock;
 // they order spans within a site but are not comparable across sites.
@@ -60,6 +98,9 @@ type SpanRecord struct {
 	// Attrs are "key=value" annotations in append order (retry attempts,
 	// object ids, payload sizes).
 	Attrs []string
+	// Phases attribute portions of the span's self-time to typed pipeline
+	// phases, in first-recorded order (repeats accumulate in place).
+	Phases []PhaseSegment
 	// Err is the operation's error text, empty on success.
 	Err string
 }
@@ -77,6 +118,7 @@ func (r SpanRecord) String() string {
 }
 
 func init() {
+	codec.MustRegister("obiwan.telemetry.PhaseSegment", PhaseSegment{})
 	codec.MustRegister("obiwan.telemetry.SpanRecord", SpanRecord{})
 	codec.MustRegister("obiwan.telemetry.TraceDump", TraceDump{})
 }
@@ -109,6 +151,22 @@ func (s *Span) Annotate(key, value string) {
 		return
 	}
 	s.rec.Attrs = append(s.rec.Attrs, key+"="+value)
+}
+
+// Phase attributes d of the span's self-time to the named phase.
+// Repeated calls with the same name accumulate into one segment.
+// Negative durations are ignored; nil spans no-op.
+func (s *Span) Phase(name string, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	for i := range s.rec.Phases {
+		if s.rec.Phases[i].Phase == name {
+			s.rec.Phases[i].NS += int64(d)
+			return
+		}
+	}
+	s.rec.Phases = append(s.rec.Phases, PhaseSegment{Phase: name, NS: int64(d)})
 }
 
 // SetErr records err's text on the span (nil clears nothing, it no-ops).

@@ -146,18 +146,21 @@ type Store struct {
 
 	syncMu  sync.Mutex // group-commit: one fsync covers all queued writers
 	syncSeq uint64     // writes covered by the last fsync
-	syncObs func(time.Duration)
+	syncObs func(wait, fsync time.Duration)
 
 	manMu  sync.Mutex
 	siteID uint64
 }
 
-// SetSyncObserver installs fn to be called with the duration of every
-// fsync the group commit issues (nil removes it). This keeps the wal
-// package free of telemetry dependencies while letting the site layer
-// feed its wal.fsync_ns histogram. fn runs with the sync mutex held —
+// SetSyncObserver installs fn to be called after every group-commit
+// round with the time the writer spent queued behind another writer's
+// fsync (wait) and the duration of the fsync it issued itself (fsync,
+// zero when a later writer's sync already covered it). Nil removes the
+// observer. This keeps the wal package free of telemetry dependencies
+// while letting the site layer feed its wal.fsync_ns and
+// wal.fsync.wait_ns histograms. fn runs with the sync mutex held —
 // keep it trivial.
-func (s *Store) SetSyncObserver(fn func(time.Duration)) {
+func (s *Store) SetSyncObserver(fn func(wait, fsync time.Duration)) {
 	s.syncMu.Lock()
 	s.syncObs = fn
 	s.syncMu.Unlock()
@@ -381,10 +384,15 @@ func (s *Store) Append(payload []byte) error {
 // syncTo ensures every write up to seq is fsynced, sharing the fsync with
 // any other writer that got there first.
 func (s *Store) syncTo(seq uint64) error {
+	waitStart := time.Now()
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+	wait := time.Since(waitStart)
 	if s.syncSeq >= seq {
-		return nil // a later writer's fsync already covered us
+		if s.syncObs != nil {
+			s.syncObs(wait, 0) // covered by a later writer's fsync: pure wait
+		}
+		return nil
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -399,7 +407,7 @@ func (s *Store) syncTo(seq uint64) error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if s.syncObs != nil {
-		s.syncObs(time.Since(start))
+		s.syncObs(wait, time.Since(start))
 	}
 	s.syncSeq = cur
 	return nil

@@ -231,6 +231,34 @@ var (
 	FormatTraceTree = telemetry.FormatTree
 )
 
+// Critical-path attribution (DESIGN.md §13): spans carry typed phase
+// segments, the slowest causal chain of each trace is extracted with
+// per-phase time attribution, and tail exemplars tie a histogram's worst
+// samples to the traces that explain them.
+type (
+	// PhaseSegment attributes part of a span's self-time to one typed
+	// pipeline phase (queue, net, serve, assemble, apply, fsync, ...).
+	PhaseSegment = telemetry.PhaseSegment
+	// PathStep is one span on a critical path, with its self-time.
+	PathStep = telemetry.PathStep
+	// CriticalPath is the slowest causal chain through one trace, with
+	// aggregate per-phase attribution.
+	CriticalPath = telemetry.CriticalPath
+	// SlowTrace ties a tail exemplar to the spans that explain it.
+	SlowTrace = telemetry.SlowTrace
+	// AttributionProfile aggregates critical paths into per-phase time
+	// distributions — the fleet's "where does p99 go" answer.
+	AttributionProfile = telemetry.AttributionProfile
+)
+
+var (
+	// ExtractCriticalPath walks one trace tree and returns its slowest
+	// causal chain with per-phase attribution.
+	ExtractCriticalPath = telemetry.ExtractCriticalPath
+	// NewAttributionBuilder accumulates critical paths into a profile.
+	NewAttributionBuilder = telemetry.NewAttributionBuilder
+)
+
 // RetryPolicy bounds how outbound RMI calls are retried: attempt count,
 // exponential backoff (with jitter and ceiling), and optional per-try
 // timeout, all under the overall call timeout.

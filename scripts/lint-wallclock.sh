@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# lint-wallclock.sh — forbid new direct wall-clock reads.
+#
+# Everything that runs inside a simulated scenario must take its time
+# from netsim.Clock (or a telemetry hub's injected clock): a stray
+# time.Now() silently breaks virtual-clock byte-determinism — the exact
+# property the BENCH_* regression baselines and the swarm determinism
+# tests gate on. This lint greps for time.Now outside the files that are
+# legitimately wall-clocked and fails CI when a new one appears.
+#
+# Allowlisted (and why):
+#   internal/netsim/              the clock abstraction itself
+#   internal/telemetry/hub.go     real-clock fallback when no clock injected
+#   internal/telemetry/trace.go   same fallback for the tracer
+#   internal/telemetry/flight.go  same fallback for the flight recorder
+#   internal/wal/wal.go           fsync timing is real disk time by nature
+#   internal/heap/heap.go         real-clock shim (injected clock otherwise)
+#   internal/qos/qos.go           real-clock shim (injected clock otherwise)
+#   internal/consistency/consistency.go  real-clock shim
+#   internal/swarm/swarm.go       wall-clock speedup figure (wallStart)
+#   internal/bench/runners.go     wall-clock experiments (table1, fig4-6)
+#   internal/bench/ablation.go    wall-clock experiments
+#   cmd/obiwan-bench/main.go      per-experiment wall timing for the report
+#   examples/                     examples run on the real clock
+#   *_test.go                     tests may time themselves
+#
+# New legitimate uses must be added here with a reason, so the exception
+# stays reviewed instead of accumulating silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allow='^\./internal/netsim/|^\./internal/telemetry/(hub|trace|flight)\.go$|^\./internal/wal/wal\.go$|^\./internal/heap/heap\.go$|^\./internal/qos/qos\.go$|^\./internal/consistency/consistency\.go$|^\./internal/swarm/swarm\.go$|^\./internal/bench/(runners|ablation)\.go$|^\./cmd/obiwan-bench/main\.go$|^\./examples/|_test\.go$'
+
+bad=$(grep -rn 'time\.Now' --include='*.go' . | grep -Ev "^($allow)" || true)
+# grep -n output is file:line:text; re-filter on the file field alone.
+bad=$(printf '%s\n' "$bad" | awk -F: -v allow="$allow" '$1 !~ allow' | grep . || true)
+
+if [ -n "$bad" ]; then
+    echo "lint-wallclock: direct time.Now outside the allowlist:" >&2
+    printf '%s\n' "$bad" >&2
+    echo "Use the component's netsim.Clock (or injected hub clock); if this" >&2
+    echo "file is legitimately wall-clocked, add it to scripts/lint-wallclock.sh" >&2
+    echo "with a reason." >&2
+    exit 1
+fi
+echo "lint-wallclock: ok"
